@@ -1,0 +1,9 @@
+// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2pse::harness;
+  FigureParams d;
+  d.nodes = 20000;
+  return figure_main(argc, argv, "Ablation: no-healing static wiring vs CYCLON-maintained overlay under 50% departures", d, ablation_cyclon_healing);
+}

@@ -1,0 +1,9 @@
+// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2pse::harness;
+  FigureParams d;
+  d.nodes = 100000; d.sc_collisions = 200;
+  return figure_main(argc, argv, "Ablation: estimation delay under a per-hop latency model (paper SV conjecture)", d, ablation_delay);
+}

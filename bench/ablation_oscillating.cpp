@@ -1,0 +1,9 @@
+// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2pse::harness;
+  FigureParams d;
+  d.nodes = 50000; d.estimations = 100; d.sc_collisions = 100; d.agg_rounds = 50;
+  return figure_main(argc, argv, "Extension: flash-crowd oscillation tracking (S&C vs Aggregation)", d, ablation_oscillating);
+}

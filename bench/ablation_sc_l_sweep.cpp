@@ -1,0 +1,9 @@
+// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2pse::harness;
+  FigureParams d;
+  d.nodes = 100000; d.estimations = 5;
+  return figure_main(argc, argv, "Ablation: Sample&Collide cost/accuracy vs l (paper SV cost ratios)", d, ablation_sc_l_sweep);
+}

@@ -1,0 +1,61 @@
+#pragma once
+// Shared main() body for the figure-reproduction binaries: maps CLI flags
+// onto FigureParams (defaults = the paper's values for that figure), runs
+// the generator and prints the report.
+
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <iostream>
+
+#include "p2pse/harness/figures.hpp"
+#include "p2pse/support/args.hpp"
+
+namespace p2pse::harness {
+
+using FigureGenerator = std::function<FigureReport(const FigureParams&)>;
+
+inline int figure_main(int argc, char** argv, const char* what,
+                       FigureParams defaults,
+                       const FigureGenerator& generator) {
+  try {
+    const support::Args args(argc, argv);
+    if (args.help_requested()) {
+      std::printf(
+          "%s — %s\n"
+          "options:\n"
+          "  --nodes N         overlay size (default %zu)\n"
+          "  --seed S          root seed (default %llu)\n"
+          "  --estimations E   x-axis length / run count (default %zu)\n"
+          "  --replicas R      independent curves (default %zu)\n"
+          "  --l L             Sample&Collide collision target (default %u)\n"
+          "  --T t             Sample&Collide timer (default %.1f)\n"
+          "  --agg-rounds R    Aggregation epoch length (default %u)\n"
+          "  --last-k K        lastKruns window (default %zu)\n",
+          argv[0], what, defaults.nodes,
+          static_cast<unsigned long long>(defaults.seed), defaults.estimations,
+          defaults.replicas, defaults.sc_collisions, defaults.sc_timer,
+          defaults.agg_rounds, defaults.last_k);
+      return 0;
+    }
+    FigureParams params = defaults;
+    params.nodes = args.get_uint("nodes", params.nodes);
+    params.seed = args.get_uint("seed", params.seed);
+    params.estimations = args.get_uint("estimations", params.estimations);
+    params.replicas = args.get_uint("replicas", params.replicas);
+    params.sc_collisions = static_cast<std::uint32_t>(
+        args.get_uint("l", params.sc_collisions));
+    params.sc_timer = args.get_double("T", params.sc_timer);
+    params.agg_rounds = static_cast<std::uint32_t>(
+        args.get_uint("agg-rounds", params.agg_rounds));
+    params.last_k = args.get_uint("last-k", params.last_k);
+
+    print_report(std::cout, generator(params));
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: error: %s\n", argv[0], error.what());
+    return 1;
+  }
+}
+
+}  // namespace p2pse::harness

@@ -1,0 +1,141 @@
+// google-benchmark microbenchmarks for the performance-critical substrate
+// operations: graph construction, walk steps, gossip rounds, churn.
+#include <benchmark/benchmark.h>
+
+#include "p2pse/est/aggregation.hpp"
+#include "p2pse/est/hops_sampling.hpp"
+#include "p2pse/est/sample_collide.hpp"
+#include "p2pse/net/analysis.hpp"
+#include "p2pse/net/builders.hpp"
+#include "p2pse/net/churn.hpp"
+#include "p2pse/net/cyclon.hpp"
+#include "p2pse/sim/simulator.hpp"
+
+namespace {
+
+using namespace p2pse;
+
+void BM_BuildHeterogeneous(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    support::RngStream rng(42);
+    net::Graph g = net::build_heterogeneous_random({nodes, 1, 10}, rng);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BuildHeterogeneous)->Arg(10000)->Arg(100000);
+
+void BM_BuildBarabasiAlbert(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    support::RngStream rng(42);
+    net::Graph g = net::build_barabasi_albert({nodes, 3}, rng);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BuildBarabasiAlbert)->Arg(10000)->Arg(100000);
+
+void BM_SampleCollideWalk(benchmark::State& state) {
+  support::RngStream build_rng(42);
+  sim::Simulator sim(net::build_heterogeneous_random({50000, 1, 10}, build_rng),
+                     43);
+  support::RngStream rng(44);
+  const est::SampleCollide sc({.timer = 10.0, .collisions = 1});
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const est::WalkSample ws = sc.sample(sim, 0, rng);
+    benchmark::DoNotOptimize(ws.node);
+    steps += ws.steps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+  state.counters["steps/walk"] = benchmark::Counter(
+      static_cast<double>(steps) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_SampleCollideWalk);
+
+void BM_SampleCollideEstimate(benchmark::State& state) {
+  support::RngStream build_rng(42);
+  sim::Simulator sim(net::build_heterogeneous_random({20000, 1, 10}, build_rng),
+                     43);
+  support::RngStream rng(44);
+  const est::SampleCollide sc({.timer = 10.0, .collisions = 50});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sc.estimate_once(sim, 0, rng).value);
+  }
+}
+BENCHMARK(BM_SampleCollideEstimate);
+
+void BM_AggregationRound(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  support::RngStream build_rng(42);
+  sim::Simulator sim(net::build_heterogeneous_random({nodes, 1, 10}, build_rng),
+                     43);
+  support::RngStream rng(44);
+  est::Aggregation agg({.rounds_per_epoch = 50});
+  agg.start_epoch(sim, 0);
+  for (auto _ : state) {
+    agg.run_round(sim, rng);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AggregationRound)->Arg(10000)->Arg(100000);
+
+void BM_HopsSamplingPoll(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  support::RngStream build_rng(42);
+  sim::Simulator sim(net::build_heterogeneous_random({nodes, 1, 10}, build_rng),
+                     43);
+  support::RngStream rng(44);
+  const est::HopsSampling hs({});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hs.run_once(sim, 0, rng).estimate.value);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HopsSamplingPoll)->Arg(10000)->Arg(100000);
+
+void BM_CyclonRound(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  net::CyclonOverlay overlay(nodes, {10, 4}, support::RngStream(42));
+  for (auto _ : state) {
+    overlay.run_round();
+    benchmark::DoNotOptimize(overlay.messages());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CyclonRound)->Arg(10000)->Arg(50000);
+
+void BM_ChurnStep(benchmark::State& state) {
+  support::RngStream build_rng(42);
+  net::Graph g = net::build_heterogeneous_random({50000, 1, 10}, build_rng);
+  support::RngStream rng(44);
+  net::ConstantChurn churn(50.0, 50.0);
+  for (auto _ : state) {
+    churn.step(g, 1.0, rng);
+    benchmark::DoNotOptimize(g.size());
+  }
+}
+BENCHMARK(BM_ChurnStep);
+
+void BM_BfsDistances(benchmark::State& state) {
+  support::RngStream build_rng(42);
+  const net::Graph g =
+      net::build_heterogeneous_random({100000, 1, 10}, build_rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::bfs_distances(g, 0).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_BfsDistances);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// The paper's §I motivation made concrete: gossip-based broadcast protocols
+// need the system size N to pick their fanout (refs [4],[7] set fanout
+// ~ ln(N) + c to reach every node w.h.p.). This example estimates N with
+// Aggregation, derives the fanout from the *estimate*, then runs a push
+// gossip broadcast with that fanout and measures actual coverage — showing
+// that a decentralized estimate is good enough to parameterize a protocol.
+//
+//   ./choose_fanout [--nodes 20000] [--seed 3] [--slack 1]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "p2pse/est/aggregation.hpp"
+#include "p2pse/net/builders.hpp"
+#include "p2pse/sim/simulator.hpp"
+#include "p2pse/support/args.hpp"
+
+namespace {
+
+using namespace p2pse;
+
+/// Push gossip broadcast: every informed node forwards to `fanout` random
+/// neighbors, once. Returns the fraction of nodes reached.
+double broadcast_coverage(sim::Simulator& sim, net::NodeId source,
+                          std::size_t fanout, support::RngStream& rng) {
+  const net::Graph& graph = sim.graph();
+  std::vector<bool> informed(graph.slot_count(), false);
+  std::vector<net::NodeId> frontier{source};
+  informed[source] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    std::vector<net::NodeId> next;
+    for (const net::NodeId u : frontier) {
+      const auto neighbors = graph.neighbors(u);
+      if (neighbors.empty()) continue;
+      if (neighbors.size() <= fanout) {
+        for (const net::NodeId v : neighbors) {
+          sim.meter().count(sim::MessageClass::kGossipSpread);
+          if (!informed[v]) {
+            informed[v] = true;
+            ++reached;
+            next.push_back(v);
+          }
+        }
+      } else {
+        for (const std::size_t pick :
+             rng.sample_without_replacement(neighbors.size(), fanout)) {
+          const net::NodeId v = neighbors[pick];
+          sim.meter().count(sim::MessageClass::kGossipSpread);
+          if (!informed[v]) {
+            informed[v] = true;
+            ++reached;
+            next.push_back(v);
+          }
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return static_cast<double>(reached) / static_cast<double>(graph.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Args args(argc, argv);
+  if (args.help_requested()) {
+    std::printf("usage: %s [--nodes N] [--seed S] [--slack C]\n", argv[0]);
+    return 0;
+  }
+  const std::size_t nodes = args.get_uint("nodes", 20000);
+  const std::uint64_t seed = args.get_uint("seed", 3);
+  const double slack = args.get_double("slack", 1.0);
+
+  const support::RngStream root(seed);
+  support::RngStream graph_rng = root.split("graph");
+  sim::Simulator sim(net::build_heterogeneous_random({nodes, 1, 10}, graph_rng),
+                     seed);
+  support::RngStream pick = root.split("initiator");
+  const net::NodeId initiator = sim.graph().random_alive(pick);
+
+  // Step 1: estimate N in a fully decentralized way.
+  est::Aggregation agg({.rounds_per_epoch = 50});
+  support::RngStream agg_rng = root.split("agg");
+  const est::Estimate estimate = agg.run_epoch(sim, initiator, agg_rng);
+  if (!estimate.valid) {
+    std::printf("estimation failed (disconnected initiator?)\n");
+    return 1;
+  }
+  std::printf("true size       : %zu\n", nodes);
+  std::printf("estimated size  : %.0f (%.2f%% error, %llu messages)\n",
+              estimate.value,
+              100.0 * (estimate.value - static_cast<double>(nodes)) /
+                  static_cast<double>(nodes),
+              static_cast<unsigned long long>(estimate.messages));
+
+  // Step 2: size the gossip fanout from the ESTIMATE, not the true N.
+  const auto fanout = static_cast<std::size_t>(
+      std::ceil(std::log(estimate.value) + slack));
+  std::printf("chosen fanout   : ceil(ln(N-hat) + %.1f) = %zu\n", slack,
+              fanout);
+
+  // Step 3: verify the derived parameter actually delivers the broadcast.
+  support::RngStream bc_rng = root.split("broadcast");
+  const std::uint64_t before = sim.meter().total();
+  const double coverage = broadcast_coverage(sim, initiator, fanout, bc_rng);
+  std::printf("broadcast reach : %.3f%% of the overlay (%llu messages)\n",
+              100.0 * coverage,
+              static_cast<unsigned long long>(sim.meter().since(before)));
+
+  // Control: a naive fanout chosen without size information.
+  support::RngStream ctl_rng = root.split("control");
+  const double naive = broadcast_coverage(sim, initiator, 2, ctl_rng);
+  std::printf("fanout=2 control: %.3f%% of the overlay\n", 100.0 * naive);
+  std::printf("\nestimate-driven fanout reaches %s the overlay; the size "
+              "estimate did its job.\n",
+              coverage > 0.99 ? "essentially all of" : "most of");
+  return 0;
+}

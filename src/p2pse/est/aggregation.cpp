@@ -1,0 +1,104 @@
+#include "p2pse/est/aggregation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "p2pse/support/stats.hpp"
+
+namespace p2pse::est {
+
+Aggregation::Aggregation(AggregationConfig config) : config_(config) {
+  if (config_.rounds_per_epoch == 0) {
+    throw std::invalid_argument("Aggregation: rounds_per_epoch must be >= 1");
+  }
+}
+
+void Aggregation::ensure_capacity(std::size_t slots) {
+  if (values_.size() < slots) values_.resize(slots, 0.0);
+}
+
+void Aggregation::start_epoch(sim::Simulator& sim, net::NodeId initiator) {
+  if (!sim.graph().is_alive(initiator)) {
+    throw std::invalid_argument("Aggregation: epoch initiator must be alive");
+  }
+  ensure_capacity(sim.graph().slot_count());
+  for (const net::NodeId id : sim.graph().alive_nodes()) values_[id] = 0.0;
+  values_[initiator] = 1.0;
+  initiator_ = initiator;
+  ++epoch_;
+}
+
+void Aggregation::run_round(sim::Simulator& sim, support::RngStream& rng) {
+  net::Graph& graph = sim.graph();
+  ensure_capacity(graph.slot_count());
+  // Synchronous cycle: every alive node initiates one exchange with a
+  // uniformly random alive neighbor (push + pull = 2 messages).
+  for (const net::NodeId id : graph.alive_nodes()) {
+    const net::NodeId peer = graph.random_neighbor(id, rng);
+    if (peer == net::kInvalidNode) continue;  // isolated node: nothing to do
+    sim.meter().count(sim::MessageClass::kAggregationPush);
+    if (config_.push_pull) {
+      sim.meter().count(sim::MessageClass::kAggregationPull);
+      const double mean = 0.5 * (values_[id] + values_[peer]);
+      values_[id] = mean;
+      values_[peer] = mean;
+    } else {
+      // Push-only variant: the receiver absorbs half the sender's value.
+      // Mass stays conserved but mixing is slower (ablation).
+      const double half = 0.5 * values_[id];
+      values_[id] -= half;
+      values_[peer] += half;
+    }
+  }
+}
+
+Estimate Aggregation::run_epoch(sim::Simulator& sim, net::NodeId initiator,
+                                support::RngStream& rng, net::NodeId reader) {
+  const std::uint64_t baseline = sim.meter().total();
+  start_epoch(sim, initiator);
+  for (std::uint32_t r = 0; r < config_.rounds_per_epoch; ++r) {
+    run_round(sim, rng);
+  }
+  if (reader == net::kInvalidNode) reader = initiator;
+  Estimate estimate = estimate_at(sim, reader);
+  estimate.messages = sim.meter().since(baseline);
+  return estimate;
+}
+
+double Aggregation::value_at(net::NodeId id) const noexcept {
+  return id < values_.size() ? values_[id] : 0.0;
+}
+
+Estimate Aggregation::estimate_at(const sim::Simulator& sim,
+                                  net::NodeId id) const noexcept {
+  Estimate estimate;
+  estimate.time = sim.now();
+  estimate.messages = 0;
+  const double v = value_at(id);
+  if (!sim.graph().is_alive(id) || v <= 0.0) {
+    estimate.valid = false;
+    estimate.value = 0.0;
+    return estimate;
+  }
+  estimate.value = 1.0 / v;
+  return estimate;
+}
+
+double Aggregation::value_dispersion(const sim::Simulator& sim) const {
+  support::RunningStats stats;
+  for (const net::NodeId id : sim.graph().alive_nodes()) {
+    stats.add(value_at(id));
+  }
+  if (stats.count() == 0 || stats.mean() == 0.0) return 0.0;
+  return stats.stddev() / std::abs(stats.mean());
+}
+
+double Aggregation::total_mass(const sim::Simulator& sim) const {
+  double total = 0.0;
+  for (const net::NodeId id : sim.graph().alive_nodes()) {
+    total += value_at(id);
+  }
+  return total;
+}
+
+}  // namespace p2pse::est

@@ -1,0 +1,105 @@
+#include "p2pse/est/aggregation_suite.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2pse::est {
+
+MultiAggregation::MultiAggregation(MultiAggregationConfig config)
+    : config_(config) {
+  if (config_.rounds_per_epoch == 0) {
+    throw std::invalid_argument("MultiAggregation: rounds_per_epoch >= 1");
+  }
+  if (config_.instances == 0) {
+    throw std::invalid_argument("MultiAggregation: instances >= 1");
+  }
+  values_.resize(config_.instances);
+}
+
+void MultiAggregation::ensure_capacity(std::size_t slots) {
+  for (auto& v : values_) {
+    if (v.size() < slots) v.resize(slots, 0.0);
+  }
+}
+
+void MultiAggregation::start_epoch(sim::Simulator& sim,
+                                   support::RngStream& rng) {
+  if (sim.graph().empty()) {
+    throw std::invalid_argument("MultiAggregation: empty overlay");
+  }
+  ensure_capacity(sim.graph().slot_count());
+  for (auto& v : values_) {
+    for (const net::NodeId id : sim.graph().alive_nodes()) v[id] = 0.0;
+  }
+  for (std::uint32_t i = 0; i < config_.instances; ++i) {
+    values_[i][sim.graph().random_alive(rng)] = 1.0;
+  }
+}
+
+void MultiAggregation::run_round(sim::Simulator& sim,
+                                 support::RngStream& rng) {
+  net::Graph& graph = sim.graph();
+  ensure_capacity(graph.slot_count());
+  for (const net::NodeId id : graph.alive_nodes()) {
+    const net::NodeId peer = graph.random_neighbor(id, rng);
+    if (peer == net::kInvalidNode) continue;
+    // All instances piggyback on one push-pull exchange: 2 messages total.
+    sim.meter().count(sim::MessageClass::kAggregationPush);
+    sim.meter().count(sim::MessageClass::kAggregationPull);
+    for (auto& v : values_) {
+      const double mean = 0.5 * (v[id] + v[peer]);
+      v[id] = mean;
+      v[peer] = mean;
+    }
+  }
+}
+
+std::vector<double> MultiAggregation::instance_estimates(net::NodeId id) const {
+  std::vector<double> out;
+  out.reserve(values_.size());
+  for (const auto& v : values_) {
+    if (id < v.size() && v[id] > 0.0) out.push_back(1.0 / v[id]);
+  }
+  return out;
+}
+
+Estimate MultiAggregation::estimate_at(const sim::Simulator& sim,
+                                       net::NodeId id) const {
+  Estimate estimate;
+  estimate.time = sim.now();
+  if (!sim.graph().is_alive(id)) {
+    estimate.valid = false;
+    return estimate;
+  }
+  std::vector<double> values = instance_estimates(id);
+  if (values.empty()) {
+    estimate.valid = false;
+    return estimate;
+  }
+  if (config_.combine == MultiAggregationConfig::Combine::kMean) {
+    double acc = 0.0;
+    for (const double v : values) acc += v;
+    estimate.value = acc / static_cast<double>(values.size());
+  } else {
+    std::sort(values.begin(), values.end());
+    const std::size_t mid = values.size() / 2;
+    estimate.value = values.size() % 2 == 1
+                         ? values[mid]
+                         : 0.5 * (values[mid - 1] + values[mid]);
+  }
+  return estimate;
+}
+
+Estimate MultiAggregation::run_epoch(sim::Simulator& sim,
+                                     support::RngStream& rng) {
+  const std::uint64_t baseline = sim.meter().total();
+  start_epoch(sim, rng);
+  for (std::uint32_t r = 0; r < config_.rounds_per_epoch; ++r) {
+    run_round(sim, rng);
+  }
+  Estimate estimate = estimate_at(sim, sim.graph().random_alive(rng));
+  estimate.messages = sim.meter().since(baseline);
+  return estimate;
+}
+
+}  // namespace p2pse::est

@@ -1,0 +1,62 @@
+#include "p2pse/est/delay.hpp"
+
+#include <unordered_set>
+
+namespace p2pse::est {
+
+DelayBreakdown sample_collide_delay(sim::Simulator& sim,
+                                    const SampleCollide& sc,
+                                    net::NodeId initiator,
+                                    const DelayConfig& config,
+                                    support::RngStream& rng) {
+  DelayBreakdown out;
+  const std::uint64_t baseline = sim.meter().total();
+  // Re-run the collision loop sample by sample so each walk's hop count is
+  // observable (estimate_once hides it).
+  std::unordered_set<net::NodeId> seen;
+  std::uint64_t samples = 0;
+  std::uint32_t collisions = 0;
+  const std::uint32_t target = sc.config().collisions;
+  while (collisions < target && samples < sc.config().max_samples) {
+    const WalkSample ws = sc.sample(sim, initiator, rng);
+    ++samples;
+    // Walk hops are sequential; the sample's report is one more hop.
+    out.total += config.hop_latency.sequential(ws.steps + 1, rng);
+    if (!seen.insert(ws.node).second) ++collisions;
+  }
+  out.messages = sim.meter().since(baseline);
+  out.estimate = static_cast<double>(samples) * static_cast<double>(samples) /
+                 (2.0 * static_cast<double>(target));
+  return out;
+}
+
+DelayBreakdown hops_sampling_delay(sim::Simulator& sim, const HopsSampling& hs,
+                                   net::NodeId initiator,
+                                   const DelayConfig& config,
+                                   support::RngStream& rng) {
+  DelayBreakdown out;
+  const HopsSamplingResult result = hs.run_once(sim, initiator, rng);
+  // The spread advances one hop per "round" of parallel transmissions; its
+  // depth bounds the wall-clock. Replies come straight back: one hop.
+  out.total = config.hop_latency.mean() *
+              (static_cast<double>(result.spread_rounds) + 1.0);
+  out.messages = result.estimate.messages;
+  out.estimate = result.estimate.value;
+  return out;
+}
+
+DelayBreakdown aggregation_delay(sim::Simulator& sim, Aggregation& agg,
+                                 net::NodeId initiator,
+                                 const DelayConfig& config,
+                                 support::RngStream& rng) {
+  DelayBreakdown out;
+  const std::uint64_t baseline = sim.meter().total();
+  const Estimate e = agg.run_epoch(sim, initiator, rng);
+  out.total = config.hop_latency.mean() * config.aggregation_period_hops *
+              static_cast<double>(agg.config().rounds_per_epoch);
+  out.messages = sim.meter().since(baseline);
+  out.estimate = e.value;
+  return out;
+}
+
+}  // namespace p2pse::est

@@ -1,0 +1,65 @@
+#include "p2pse/est/flat_polling.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace p2pse::est {
+
+FlatPolling::FlatPolling(FlatPollingConfig config) : config_(config) {
+  if (config_.reply_probability <= 0.0 || config_.reply_probability > 1.0) {
+    throw std::invalid_argument(
+        "FlatPolling: reply_probability must be in (0, 1]");
+  }
+}
+
+FlatPollingResult FlatPolling::run_once(sim::Simulator& sim,
+                                        net::NodeId initiator,
+                                        support::RngStream& rng) const {
+  FlatPollingResult result;
+  const std::uint64_t baseline = sim.meter().total();
+  const net::Graph& graph = sim.graph();
+  if (!graph.is_alive(initiator)) {
+    result.estimate = Estimate::invalid_at(sim.now());
+    return result;
+  }
+
+  // BFS flood: every informed node forwards the poll to all its neighbors
+  // once. Each transmitted copy is a message (already-informed receivers
+  // still cost the send).
+  std::vector<bool> informed(graph.slot_count(), false);
+  std::vector<net::NodeId> frontier{initiator};
+  informed[initiator] = true;
+  result.reached = 1;
+  while (!frontier.empty()) {
+    std::vector<net::NodeId> next;
+    for (const net::NodeId u : frontier) {
+      for (const net::NodeId v : graph.neighbors(u)) {
+        sim.meter().count(sim::MessageClass::kGossipSpread);
+        if (!informed[v]) {
+          informed[v] = true;
+          ++result.reached;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+
+  // Flat-probability report.
+  double estimate = 1.0;
+  for (const net::NodeId id : graph.alive_nodes()) {
+    if (id == initiator || !informed[id]) continue;
+    if (rng.bernoulli(config_.reply_probability)) {
+      sim.meter().count(sim::MessageClass::kPollReply);
+      ++result.replies;
+      estimate += 1.0 / config_.reply_probability;
+    }
+  }
+
+  result.estimate.value = estimate;
+  result.estimate.time = sim.now();
+  result.estimate.messages = sim.meter().since(baseline);
+  return result;
+}
+
+}  // namespace p2pse::est

@@ -1,0 +1,152 @@
+#include "p2pse/est/hops_sampling.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "p2pse/net/analysis.hpp"
+
+namespace p2pse::est {
+namespace {
+
+/// A node scheduled to forward the poll: forwards with hop value
+/// `send_hop` for `rounds_left` consecutive rounds.
+struct Forwarder {
+  net::NodeId node;
+  std::uint32_t send_hop;
+  std::uint32_t rounds_left;
+};
+
+}  // namespace
+
+HopsSampling::HopsSampling(HopsSamplingConfig config) : config_(config) {
+  if (config_.gossip_to == 0) {
+    throw std::invalid_argument("HopsSampling: gossipTo must be >= 1");
+  }
+  if (config_.gossip_for == 0) {
+    throw std::invalid_argument("HopsSampling: gossipFor must be >= 1");
+  }
+  if (config_.gossip_until == 0) {
+    throw std::invalid_argument("HopsSampling: gossipUntil must be >= 1");
+  }
+}
+
+double HopsSampling::reply_probability(std::uint32_t hops) const noexcept {
+  if (hops <= config_.min_hops_reporting) return 1.0;
+  return std::pow(static_cast<double>(config_.gossip_to),
+                  -static_cast<double>(hops - config_.min_hops_reporting));
+}
+
+void HopsSampling::spread(sim::Simulator& sim, net::NodeId initiator,
+                          support::RngStream& rng,
+                          std::vector<std::uint32_t>& min_hops,
+                          HopsSamplingResult& result) const {
+  const net::Graph& graph = sim.graph();
+  std::vector<std::uint32_t> times_received(graph.slot_count(), 0);
+
+  min_hops[initiator] = 0;
+  result.reached = 1;
+
+  std::vector<Forwarder> frontier;
+  std::vector<Forwarder> next;
+  frontier.push_back(Forwarder{initiator, 1, config_.gossip_for});
+
+  std::uint32_t rounds = 0;
+  while (!frontier.empty() && rounds < config_.max_spread_rounds) {
+    ++rounds;
+    next.clear();
+    for (auto& fw : frontier) {
+      const auto neighbors = graph.neighbors(fw.node);
+      if (!neighbors.empty()) {
+        // gossipTo distinct targets when possible, all neighbors otherwise.
+        if (neighbors.size() <= config_.gossip_to) {
+          for (const net::NodeId target : neighbors) {
+            sim.meter().count(sim::MessageClass::kGossipSpread);
+            if (min_hops[target] == net::kUnreached) {
+              min_hops[target] = fw.send_hop;
+              ++result.reached;
+            } else if (fw.send_hop < min_hops[target]) {
+              min_hops[target] = fw.send_hop;
+            }
+            if (times_received[target]++ < config_.gossip_until) {
+              next.push_back(
+                  Forwarder{target, min_hops[target] + 1, config_.gossip_for});
+            }
+          }
+        } else {
+          const auto picks =
+              rng.sample_without_replacement(neighbors.size(), config_.gossip_to);
+          for (const std::size_t pick : picks) {
+            const net::NodeId target = neighbors[pick];
+            sim.meter().count(sim::MessageClass::kGossipSpread);
+            if (min_hops[target] == net::kUnreached) {
+              min_hops[target] = fw.send_hop;
+              ++result.reached;
+            } else if (fw.send_hop < min_hops[target]) {
+              min_hops[target] = fw.send_hop;
+            }
+            if (times_received[target]++ < config_.gossip_until) {
+              next.push_back(
+                  Forwarder{target, min_hops[target] + 1, config_.gossip_for});
+            }
+          }
+        }
+      }
+      // A multi-round forwarder re-enters the frontier until exhausted.
+      if (--fw.rounds_left > 0) {
+        next.push_back(fw);
+      }
+    }
+    frontier.swap(next);
+  }
+  result.spread_rounds = rounds;
+}
+
+HopsSamplingResult HopsSampling::run_once(sim::Simulator& sim,
+                                          net::NodeId initiator,
+                                          support::RngStream& rng) const {
+  HopsSamplingResult result;
+  const std::uint64_t baseline = sim.meter().total();
+  const net::Graph& graph = sim.graph();
+  if (!graph.is_alive(initiator)) {
+    result.estimate = Estimate::invalid_at(sim.now());
+    return result;
+  }
+
+  std::vector<std::uint32_t> min_hops;
+  if (config_.oracle_distances) {
+    // §V verification: exact BFS distances, full participation, no spread
+    // traffic. Unreachable nodes still cannot participate.
+    min_hops = net::bfs_distances(graph, initiator);
+    result.reached = 0;
+    for (const net::NodeId id : graph.alive_nodes()) {
+      if (min_hops[id] != net::kUnreached) ++result.reached;
+    }
+  } else {
+    min_hops.assign(graph.slot_count(), net::kUnreached);
+    spread(sim, initiator, rng, min_hops, result);
+  }
+
+  // Reporting phase: the initiator counts itself; every other polled node
+  // replies probabilistically and is weighted by the inverse probability.
+  double estimate = 1.0;
+  for (const net::NodeId id : graph.alive_nodes()) {
+    if (id == initiator) continue;
+    const std::uint32_t h = min_hops[id];
+    if (h == net::kUnreached) continue;
+    result.max_distance = std::max(result.max_distance, h);
+    const double p = reply_probability(h);
+    if (rng.bernoulli(p)) {
+      sim.meter().count(sim::MessageClass::kPollReply);
+      ++result.replies;
+      estimate += 1.0 / p;
+    }
+  }
+
+  result.estimate.value = estimate;
+  result.estimate.time = sim.now();
+  result.estimate.messages = sim.meter().since(baseline);
+  result.estimate.valid = true;
+  return result;
+}
+
+}  // namespace p2pse::est

@@ -1,0 +1,119 @@
+#include "p2pse/est/interval_density.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace p2pse::est {
+
+IdentifierSpace::IdentifierSpace(const net::Graph& graph,
+                                 support::RngStream& rng) {
+  ring_.reserve(graph.size());
+  for (const net::NodeId node : graph.alive_nodes()) {
+    ring_.push_back(Slot{rng.uniform_real(), node});
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const Slot& a, const Slot& b) { return a.id < b.id; });
+  slot_of_node_.assign(graph.slot_count(), net::kInvalidNode);
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    slot_of_node_[ring_[i].node] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::size_t IdentifierSpace::position_of(net::NodeId node) const {
+  if (node >= slot_of_node_.size()) return ring_.size();
+  const std::uint32_t pos = slot_of_node_[node];
+  return pos == net::kInvalidNode ? ring_.size() : pos;
+}
+
+double IdentifierSpace::id_of(net::NodeId node) const {
+  const std::size_t pos = position_of(node);
+  return pos >= ring_.size() ? std::numeric_limits<double>::quiet_NaN()
+                             : ring_[pos].id;
+}
+
+std::vector<net::NodeId> IdentifierSpace::successors(net::NodeId node,
+                                                     std::size_t count) const {
+  std::vector<net::NodeId> out;
+  const std::size_t pos = position_of(node);
+  if (pos >= ring_.size() || ring_.size() < 2) return out;
+  count = std::min(count, ring_.size() - 1);
+  out.reserve(count);
+  for (std::size_t step = 1; step <= count; ++step) {
+    out.push_back(ring_[(pos + step) % ring_.size()].node);
+  }
+  return out;
+}
+
+double IdentifierSpace::ring_distance(net::NodeId node,
+                                      net::NodeId other) const {
+  const double a = id_of(node);
+  const double b = id_of(other);
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  const double d = b - a;
+  return d >= 0.0 ? d : d + 1.0;
+}
+
+void IdentifierSpace::remove(net::NodeId node) {
+  const std::size_t pos = position_of(node);
+  if (pos >= ring_.size()) return;
+  ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(pos));
+  slot_of_node_[node] = net::kInvalidNode;
+  for (std::size_t i = pos; i < ring_.size(); ++i) {
+    slot_of_node_[ring_[i].node] = static_cast<std::uint32_t>(i);
+  }
+}
+
+void IdentifierSpace::insert(net::NodeId node, support::RngStream& rng) {
+  const double id = rng.uniform_real();
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), id,
+      [](const Slot& slot, double value) { return slot.id < value; });
+  const auto pos = static_cast<std::size_t>(it - ring_.begin());
+  ring_.insert(it, Slot{id, node});
+  if (node >= slot_of_node_.size()) {
+    slot_of_node_.resize(node + 1, net::kInvalidNode);
+  }
+  for (std::size_t i = pos; i < ring_.size(); ++i) {
+    slot_of_node_[ring_[i].node] = static_cast<std::uint32_t>(i);
+  }
+}
+
+IntervalDensity::IntervalDensity(IntervalDensityConfig config)
+    : config_(config) {
+  if (config_.leafset < 2) {
+    throw std::invalid_argument("IntervalDensity: leafset must be >= 2");
+  }
+}
+
+Estimate IntervalDensity::estimate_once(sim::Simulator& sim,
+                                        const IdentifierSpace& ids,
+                                        net::NodeId node) const {
+  const std::uint64_t baseline = sim.meter().total();
+  if (!sim.graph().is_alive(node)) {
+    return Estimate::invalid_at(sim.now());
+  }
+  const auto leafset = ids.successors(node, config_.leafset);
+  sim.meter().count(sim::MessageClass::kControl, leafset.size());
+  Estimate estimate;
+  estimate.time = sim.now();
+  estimate.messages = sim.meter().since(baseline);
+  if (leafset.size() < 2) {
+    // Degenerate ring: with k < 2 successors the inverse estimator is
+    // undefined; report the population we can actually see.
+    estimate.value = static_cast<double>(leafset.size() + 1);
+    return estimate;
+  }
+  const double d_k = ids.ring_distance(node, leafset.back());
+  if (!(d_k > 0.0)) {
+    estimate.valid = false;
+    return estimate;
+  }
+  estimate.value = static_cast<double>(leafset.size() - 1) / d_k;
+  return estimate;
+}
+
+}  // namespace p2pse::est

@@ -1,0 +1,56 @@
+#include "p2pse/est/inverted_birthday.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace p2pse::est {
+
+InvertedBirthday::InvertedBirthday(InvertedBirthdayConfig config)
+    : config_(config) {
+  if (config_.collisions == 0) {
+    throw std::invalid_argument("InvertedBirthday: collisions must be >= 1");
+  }
+}
+
+net::NodeId InvertedBirthday::sample(sim::Simulator& sim, net::NodeId initiator,
+                                     support::RngStream& rng) const {
+  const net::Graph& graph = sim.graph();
+  net::NodeId current = initiator;
+  for (std::uint32_t step = 0; step < config_.walk_length; ++step) {
+    const net::NodeId next = graph.random_neighbor(current, rng);
+    if (next == net::kInvalidNode) break;
+    sim.meter().count(sim::MessageClass::kWalkStep);
+    current = next;
+  }
+  sim.meter().count(sim::MessageClass::kSampleReply);
+  return current;
+}
+
+Estimate InvertedBirthday::estimate_once(sim::Simulator& sim,
+                                         net::NodeId initiator,
+                                         support::RngStream& rng) const {
+  const std::uint64_t baseline = sim.meter().total();
+  if (!sim.graph().is_alive(initiator)) {
+    return Estimate::invalid_at(sim.now());
+  }
+  std::unordered_set<net::NodeId> seen;
+  std::uint64_t samples = 0;
+  std::uint32_t collisions = 0;
+  while (collisions < config_.collisions && samples < config_.max_samples) {
+    const net::NodeId s = sample(sim, initiator, rng);
+    ++samples;
+    if (!seen.insert(s).second) ++collisions;
+  }
+  Estimate estimate;
+  estimate.time = sim.now();
+  estimate.messages = sim.meter().since(baseline);
+  if (collisions < config_.collisions) {
+    estimate.valid = false;
+    return estimate;
+  }
+  estimate.value = static_cast<double>(samples) * static_cast<double>(samples) /
+                   (2.0 * static_cast<double>(config_.collisions));
+  return estimate;
+}
+
+}  // namespace p2pse::est

@@ -1,0 +1,54 @@
+#include "p2pse/est/monitor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace p2pse::est {
+
+SizeMonitor::SizeMonitor(SizeMonitorConfig config, EstimatorFn estimator)
+    : config_(config),
+      estimator_(std::move(estimator)),
+      smoother_(std::max<std::size_t>(1, config.smoothing_window)) {
+  if (!estimator_) {
+    throw std::invalid_argument("SizeMonitor: estimator is required");
+  }
+}
+
+std::optional<MonitorSample> SizeMonitor::poll(sim::Simulator& sim,
+                                               support::RngStream& rng) {
+  ++polls_;
+  if (sim.graph().empty()) {
+    ++failures_;
+    return std::nullopt;
+  }
+  if (!sim.graph().is_alive(initiator_)) {
+    initiator_ = sim.graph().random_alive(rng);
+  }
+  const Estimate raw = estimator_(sim, initiator_, rng);
+  if (!raw.valid) {
+    ++failures_;
+    return std::nullopt;
+  }
+  MonitorSample sample;
+  sample.raw = raw;
+  const double previous = current_;
+  sample.smoothed = smoother_.add(raw.value);
+  current_ = sample.smoothed;
+  if (config_.alarm_threshold > 0.0 && previous > 0.0) {
+    const double change = std::abs(current_ - previous) / previous;
+    if (change > config_.alarm_threshold) {
+      sample.alarm = true;
+      ++alarms_;
+    }
+  }
+  history_.push_back(sample);
+  if (history_.size() > config_.history_limit) {
+    history_.erase(history_.begin(),
+                   history_.begin() + static_cast<std::ptrdiff_t>(
+                                          history_.size() -
+                                          config_.history_limit));
+  }
+  return sample;
+}
+
+}  // namespace p2pse::est

@@ -1,0 +1,71 @@
+#pragma once
+// SizeMonitor: the application-facing wrapper the paper's use cases imply
+// (parameter setting, system monitoring). It owns the perpetual-estimation
+// loop — initiator re-election after failures, optional lastK smoothing,
+// estimate history, and change alarms ("the system shrank by more than X%").
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "p2pse/est/estimate.hpp"
+#include "p2pse/est/smoothing.hpp"
+#include "p2pse/net/graph.hpp"
+#include "p2pse/sim/simulator.hpp"
+#include "p2pse/support/rng.hpp"
+
+namespace p2pse::est {
+
+struct SizeMonitorConfig {
+  std::size_t smoothing_window = 1;  ///< 1 = oneShot, 10 = last10runs
+  /// Relative change between consecutive smoothed estimates that raises a
+  /// change alarm; <= 0 disables alarms.
+  double alarm_threshold = 0.2;
+  std::size_t history_limit = 1024;  ///< oldest entries dropped beyond this
+};
+
+/// A produced monitoring sample.
+struct MonitorSample {
+  Estimate raw;          ///< the underlying estimator's output
+  double smoothed = 0.0; ///< lastK-smoothed value (== raw for window 1)
+  bool alarm = false;    ///< change alarm fired on this sample
+};
+
+class SizeMonitor {
+ public:
+  /// `estimator` produces one estimate from the given initiator.
+  using EstimatorFn = std::function<Estimate(
+      sim::Simulator&, net::NodeId initiator, support::RngStream&)>;
+
+  SizeMonitor(SizeMonitorConfig config, EstimatorFn estimator);
+
+  /// Runs one estimation: re-elects the initiator if the current one died,
+  /// feeds the smoother, evaluates the alarm. Returns nullopt when the
+  /// overlay is empty or the estimator failed.
+  std::optional<MonitorSample> poll(sim::Simulator& sim,
+                                    support::RngStream& rng);
+
+  /// Most recent smoothed estimate (0 before the first successful poll).
+  [[nodiscard]] double current() const noexcept { return current_; }
+  [[nodiscard]] const std::vector<MonitorSample>& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] net::NodeId initiator() const noexcept { return initiator_; }
+  [[nodiscard]] std::uint64_t polls() const noexcept { return polls_; }
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+  [[nodiscard]] std::uint64_t alarms() const noexcept { return alarms_; }
+
+ private:
+  SizeMonitorConfig config_;
+  EstimatorFn estimator_;
+  LastKAverage smoother_;
+  std::vector<MonitorSample> history_;
+  net::NodeId initiator_ = net::kInvalidNode;
+  double current_ = 0.0;
+  std::uint64_t polls_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t alarms_ = 0;
+};
+
+}  // namespace p2pse::est

@@ -1,0 +1,39 @@
+#include "p2pse/est/random_tour.hpp"
+
+namespace p2pse::est {
+
+Estimate RandomTour::estimate_once(sim::Simulator& sim, net::NodeId initiator,
+                                   support::RngStream& rng) const {
+  const std::uint64_t baseline = sim.meter().total();
+  const net::Graph& graph = sim.graph();
+  const std::size_t init_degree = graph.degree(initiator);
+  if (!graph.is_alive(initiator) || init_degree == 0) {
+    return Estimate::invalid_at(sim.now());
+  }
+
+  // Phi accumulates 1/deg over X_0 = initiator .. X_{T-1}; the arrival back
+  // at the initiator ends the tour and is not accumulated.
+  double phi = 1.0 / static_cast<double>(init_degree);
+  net::NodeId current = initiator;
+  for (std::uint64_t step = 0; step < config_.max_steps; ++step) {
+    const net::NodeId next = graph.random_neighbor(current, rng);
+    if (next == net::kInvalidNode) {
+      // Walk trapped on an isolated survivor (possible only under churn
+      // mid-tour; impossible on a static undirected graph).
+      return Estimate::invalid_at(sim.now(), sim.meter().since(baseline));
+    }
+    sim.meter().count(sim::MessageClass::kWalkStep);
+    current = next;
+    if (current == initiator) {
+      Estimate estimate;
+      estimate.value = static_cast<double>(init_degree) * phi;
+      estimate.time = sim.now();
+      estimate.messages = sim.meter().since(baseline);
+      return estimate;
+    }
+    phi += 1.0 / static_cast<double>(graph.degree(current));
+  }
+  return Estimate::invalid_at(sim.now(), sim.meter().since(baseline));
+}
+
+}  // namespace p2pse::est

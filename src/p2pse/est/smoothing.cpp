@@ -1,0 +1,34 @@
+#include "p2pse/est/smoothing.hpp"
+
+#include <stdexcept>
+
+namespace p2pse::est {
+
+LastKAverage::LastKAverage(std::size_t k) : ring_(k, 0.0) {
+  if (k == 0) throw std::invalid_argument("LastKAverage: window must be >= 1");
+}
+
+double LastKAverage::add(double value) {
+  if (count_ >= ring_.size()) {
+    sum_ -= ring_[next_];
+  }
+  ring_[next_] = value;
+  sum_ += value;
+  next_ = (next_ + 1) % ring_.size();
+  if (count_ < ring_.size()) ++count_;
+  return mean();
+}
+
+double LastKAverage::mean() const noexcept {
+  const std::size_t n = count_ < ring_.size() ? count_ : ring_.size();
+  return n == 0 ? 0.0 : sum_ / static_cast<double>(n);
+}
+
+void LastKAverage::reset() noexcept {
+  next_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  for (auto& v : ring_) v = 0.0;
+}
+
+}  // namespace p2pse::est

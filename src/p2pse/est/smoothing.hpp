@@ -1,0 +1,33 @@
+#pragma once
+// The paper evaluates two presentation heuristics per estimator: "oneShot"
+// (each estimate reported raw) and "last10runs" (mean of the 10 most recent
+// estimates). LastKAverage implements the latter for arbitrary K.
+
+#include <cstddef>
+#include <vector>
+
+namespace p2pse::est {
+
+class LastKAverage {
+ public:
+  /// K must be >= 1.
+  explicit LastKAverage(std::size_t k);
+
+  /// Feeds one estimate; returns the mean of the last min(K, count) values.
+  double add(double value);
+
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] std::size_t window() const noexcept { return ring_.size(); }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool full() const noexcept { return count_ >= ring_.size(); }
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> ring_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace p2pse::est

@@ -1,0 +1,114 @@
+#pragma once
+// One generator per paper figure/table (see DESIGN.md §5 for the index).
+// Each generator builds the workload at the requested scale (defaults =
+// paper values), runs the algorithm(s) with the paper's parameters and
+// returns a FigureReport ready for printing. The generators are pure
+// functions of their parameters + seed, so every figure is reproducible.
+
+#include <cstdint>
+
+#include "p2pse/harness/report.hpp"
+
+namespace p2pse::harness {
+
+/// Scale / determinism knobs shared by all figures. Every bench binary maps
+/// --nodes/--seed/--estimations/... onto this.
+struct FigureParams {
+  std::size_t nodes = 100'000;
+  std::uint64_t seed = 42;
+  std::size_t estimations = 100;  ///< x-axis length for estimation figures
+  std::size_t replicas = 3;       ///< "Estimation #1..#3" curves
+  std::uint32_t sc_collisions = 200;   ///< Sample&Collide l
+  double sc_timer = 10.0;              ///< Sample&Collide T
+  std::uint32_t agg_rounds = 50;       ///< Aggregation epoch length
+  std::size_t last_k = 10;             ///< last10runs window
+};
+
+// --- static setting (§IV-C) -------------------------------------------------
+/// Figs 1, 2, 18: Sample&Collide oneShot + lastK quality on the
+/// heterogeneous random graph. Fig 1: nodes=1e5, l=200; Fig 2: nodes=1e6,
+/// estimations=18; Fig 18: l=10, estimations=50.
+[[nodiscard]] FigureReport fig_sc_static(const FigureParams& params);
+
+/// Figs 3, 4: HopsSampling oneShot + lastK quality. Fig 3: 1e5/100;
+/// Fig 4: 1e6/20.
+[[nodiscard]] FigureReport fig_hs_static(const FigureParams& params);
+
+/// Figs 5, 6: Aggregation quality vs round (3 independent estimations).
+/// `estimations` is reused as the number of rounds plotted (paper: 100).
+[[nodiscard]] FigureReport fig_agg_static(const FigureParams& params);
+
+/// Fig 7: Barabási–Albert degree distribution (log-log).
+[[nodiscard]] FigureReport fig_scale_free_degrees(const FigureParams& params);
+
+/// Fig 8: the three algorithms on the scale-free graph.
+[[nodiscard]] FigureReport fig_scale_free_compare(const FigureParams& params);
+
+// --- dynamic setting (§IV-D) ------------------------------------------------
+enum class DynamicKind { kCatastrophic, kGrowing, kShrinking };
+
+/// Figs 9-11: Sample&Collide oneShot under churn (3 replicas + truth).
+[[nodiscard]] FigureReport fig_sc_dynamic(DynamicKind kind,
+                                          const FigureParams& params);
+
+/// Figs 12-14: HopsSampling lastK under churn.
+[[nodiscard]] FigureReport fig_hs_dynamic(DynamicKind kind,
+                                          const FigureParams& params);
+
+/// Figs 15-17: Aggregation (50-round epochs, 10 rounds/time-unit) under churn.
+[[nodiscard]] FigureReport fig_agg_dynamic(DynamicKind kind,
+                                           const FigureParams& params);
+
+// --- overheads (§IV-E) ------------------------------------------------------
+/// Table I: accuracy vs overhead of the four configurations on one overlay.
+/// `estimations` is the number of runs used to average accuracy/cost.
+[[nodiscard]] FigureReport table1_overhead(const FigureParams& params);
+
+// --- ablations beyond the paper's figures (§V claims) -----------------------
+/// S&C cost scaling in l (paper: l=100 costs 3.27x l=10; l=200 1.40x l=100).
+[[nodiscard]] FigureReport ablation_sc_l_sweep(const FigureParams& params);
+
+/// Sampling bias vs T: chi-square uniformity of the T-walk sampler.
+[[nodiscard]] FigureReport ablation_sc_timer_sweep(const FigureParams& params);
+
+/// HopsSampling with oracle BFS distances (§V: "the resulting size
+/// estimation was correct") vs the gossip spread, plus reach statistics.
+[[nodiscard]] FigureReport ablation_hs_oracle(const FigureParams& params);
+
+/// Quadratic vs maximum-likelihood collision estimators.
+[[nodiscard]] FigureReport ablation_estimators(const FigureParams& params);
+
+/// Homogeneous vs heterogeneous overlays ("consistently improved all
+/// algorithms").
+[[nodiscard]] FigureReport ablation_homogeneous(const FigureParams& params);
+
+/// Random Tour and naive Inverted-Birthday baselines vs Sample&Collide.
+[[nodiscard]] FigureReport ablation_baselines(const FigureParams& params);
+
+/// Static no-healing wiring vs a CYCLON-maintained (self-healing) overlay
+/// under heavy departures: connectivity and Aggregation accuracy.
+[[nodiscard]] FigureReport ablation_cyclon_healing(const FigureParams& params);
+
+/// The §V delay conjecture: wall-clock estimation delay of the three
+/// algorithms under a per-hop latency model.
+[[nodiscard]] FigureReport ablation_delay(const FigureParams& params);
+
+/// Structured-overlay interval-density estimation vs the generic schemes
+/// (the comparison [17] ran, and the reason the paper scopes itself to
+/// topology-agnostic algorithms).
+[[nodiscard]] FigureReport ablation_structured(const FigureParams& params);
+
+/// Flat probabilistic polling [2],[6] vs HopsSampling's distance-graded
+/// reporting: reply volume and accuracy.
+[[nodiscard]] FigureReport ablation_polling(const FigureParams& params);
+
+/// Sampler shoot-out: Sample&Collide's T-walk vs Metropolis-Hastings vs the
+/// naive fixed-length simple walk (uniformity chi2/df and cost per sample).
+[[nodiscard]] FigureReport ablation_samplers(const FigureParams& params);
+
+/// Extension scenario: flash-crowd oscillation (repeated +/-25% reversals).
+/// Compares Sample&Collide oneShot vs Aggregation epochs when the trend
+/// keeps flipping — the regime where epoch lag hurts most.
+[[nodiscard]] FigureReport ablation_oscillating(const FigureParams& params);
+
+}  // namespace p2pse::harness

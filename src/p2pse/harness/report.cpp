@@ -1,0 +1,72 @@
+#include "p2pse/harness/report.hpp"
+
+#include <algorithm>
+
+#include "p2pse/support/csv.hpp"
+
+namespace p2pse::harness {
+namespace {
+
+void print_table(std::ostream& out, const FigureReport& report) {
+  std::vector<std::size_t> widths(report.table_columns.size(), 0);
+  for (std::size_t c = 0; c < report.table_columns.size(); ++c) {
+    widths[c] = report.table_columns[c].size();
+  }
+  for (const auto& row : report.table_rows) {
+    for (std::size_t c = 0; c < std::min(row.size(), widths.size()); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    out << "  ";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      out << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  print_row(report.table_columns);
+  out << "  ";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out << std::string(widths[c], '-') << "  ";
+  }
+  out << '\n';
+  for (const auto& row : report.table_rows) print_row(row);
+}
+
+}  // namespace
+
+void print_csv(std::ostream& out, const FigureReport& report) {
+  support::CsvWriter csv(out, "# csv: ");
+  if (!report.series.empty()) {
+    csv.header({"series", "x", "y"});
+    for (const auto& s : report.series) {
+      const std::size_t n = std::min(s.x.size(), s.y.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        csv.row({s.name, support::format_double(s.x[i]),
+                 support::format_double(s.y[i])});
+      }
+    }
+    return;
+  }
+  csv.header(report.table_columns);
+  for (const auto& row : report.table_rows) csv.row(row);
+}
+
+void print_report(std::ostream& out, const FigureReport& report) {
+  out << "== " << report.id << ": " << report.title << " ==\n";
+  if (!report.params.empty()) out << "   " << report.params << "\n";
+  out << '\n';
+  if (!report.series.empty()) {
+    out << support::render_plot(report.series, report.plot) << '\n';
+  } else if (!report.table_rows.empty()) {
+    print_table(out, report);
+    out << '\n';
+  }
+  for (const auto& note : report.notes) out << "  - " << note << '\n';
+  if (!report.notes.empty()) out << '\n';
+  print_csv(out, report);
+  out.flush();
+}
+
+}  // namespace p2pse::harness

@@ -1,0 +1,37 @@
+#pragma once
+// Report container + renderer for the figure-reproduction harness. Every
+// bench binary produces one FigureReport, printed as: a header with the
+// parameters, an ASCII rendering of the paper's plot (or a table), a list of
+// measured headline facts, and a machine-readable CSV block ("# csv:"
+// prefixed) for external re-plotting.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "p2pse/support/ascii_plot.hpp"
+
+namespace p2pse::harness {
+
+struct FigureReport {
+  std::string id;        ///< e.g. "fig01" or "table1"
+  std::string title;     ///< paper caption (abridged)
+  std::string params;    ///< human-readable parameter line
+  std::vector<std::string> notes;  ///< measured headline facts
+
+  /// Plot content (used when non-empty).
+  std::vector<support::Series> series;
+  support::PlotOptions plot;
+
+  /// Table content (used when series is empty).
+  std::vector<std::string> table_columns;
+  std::vector<std::vector<std::string>> table_rows;
+};
+
+/// Renders the full report to `out`.
+void print_report(std::ostream& out, const FigureReport& report);
+
+/// Renders only the CSV block (long format: series,x,y).
+void print_csv(std::ostream& out, const FigureReport& report);
+
+}  // namespace p2pse::harness

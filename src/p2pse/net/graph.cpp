@@ -1,0 +1,119 @@
+#include "p2pse/net/graph.hpp"
+
+#include <algorithm>
+
+namespace p2pse::net {
+
+Graph::Graph(std::size_t initial_nodes) {
+  reserve(initial_nodes);
+  for (std::size_t i = 0; i < initial_nodes; ++i) add_node();
+}
+
+void Graph::reserve(std::size_t nodes) {
+  slots_.reserve(nodes);
+  alive_.reserve(nodes);
+}
+
+NodeId Graph::add_node() {
+  const auto id = static_cast<NodeId>(slots_.size());
+  Slot slot;
+  slot.alive = true;
+  slot.alive_pos = static_cast<std::uint32_t>(alive_.size());
+  slots_.push_back(std::move(slot));
+  alive_.push_back(id);
+  return id;
+}
+
+void Graph::remove_node(NodeId id) {
+  if (!is_alive(id)) return;
+  Slot& slot = slots_[id];
+  // Detach from every neighbor; survivors keep their remaining links only.
+  for (const NodeId nb : slot.adjacency) {
+    detach_from(nb, id);
+    --edges_;
+  }
+  slot.adjacency.clear();
+  slot.adjacency.shrink_to_fit();
+  slot.alive = false;
+  // Swap-remove from the dense alive list, fixing the moved entry's index.
+  const std::uint32_t pos = slot.alive_pos;
+  const NodeId moved = alive_.back();
+  alive_[pos] = moved;
+  slots_[moved].alive_pos = pos;
+  alive_.pop_back();
+  slot.alive_pos = kInvalidNode;
+}
+
+bool Graph::add_edge(NodeId a, NodeId b) {
+  if (a == b || !is_alive(a) || !is_alive(b)) return false;
+  // Dedup scan over the smaller adjacency list (degrees are small: <=10 on
+  // the paper's graphs, hub-sized only on scale-free topologies).
+  const auto& scan = slots_[a].adjacency.size() <= slots_[b].adjacency.size()
+                         ? slots_[a].adjacency
+                         : slots_[b].adjacency;
+  const NodeId probe = (&scan == &slots_[a].adjacency) ? b : a;
+  if (std::find(scan.begin(), scan.end(), probe) != scan.end()) return false;
+  slots_[a].adjacency.push_back(b);
+  slots_[b].adjacency.push_back(a);
+  ++edges_;
+  return true;
+}
+
+bool Graph::remove_edge(NodeId a, NodeId b) {
+  if (a == b || !is_alive(a) || !is_alive(b)) return false;
+  auto& adj_a = slots_[a].adjacency;
+  const auto it = std::find(adj_a.begin(), adj_a.end(), b);
+  if (it == adj_a.end()) return false;
+  *it = adj_a.back();
+  adj_a.pop_back();
+  detach_from(b, a);
+  --edges_;
+  return true;
+}
+
+void Graph::detach_from(NodeId node, NodeId neighbor) {
+  auto& adj = slots_[node].adjacency;
+  const auto it = std::find(adj.begin(), adj.end(), neighbor);
+  if (it != adj.end()) {
+    *it = adj.back();
+    adj.pop_back();
+  }
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const noexcept {
+  if (a == b || !is_alive(a) || !is_alive(b)) return false;
+  const auto& adj = slots_[a].adjacency.size() <= slots_[b].adjacency.size()
+                        ? slots_[a].adjacency
+                        : slots_[b].adjacency;
+  const NodeId probe = (&adj == &slots_[a].adjacency) ? b : a;
+  return std::find(adj.begin(), adj.end(), probe) != adj.end();
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId id) const noexcept {
+  if (!is_alive(id)) return {};
+  return slots_[id].adjacency;
+}
+
+std::size_t Graph::degree(NodeId id) const noexcept {
+  if (!is_alive(id)) return 0;
+  return slots_[id].adjacency.size();
+}
+
+NodeId Graph::random_alive(support::RngStream& rng) const noexcept {
+  if (alive_.empty()) return kInvalidNode;
+  return alive_[static_cast<std::size_t>(rng.uniform_u64(alive_.size()))];
+}
+
+NodeId Graph::random_neighbor(NodeId id, support::RngStream& rng) const noexcept {
+  if (!is_alive(id)) return kInvalidNode;
+  const auto& adj = slots_[id].adjacency;
+  if (adj.empty()) return kInvalidNode;
+  return adj[static_cast<std::size_t>(rng.uniform_u64(adj.size()))];
+}
+
+double Graph::average_degree() const noexcept {
+  if (alive_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(edges_) / static_cast<double>(alive_.size());
+}
+
+}  // namespace p2pse::net

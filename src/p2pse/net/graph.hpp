@@ -1,0 +1,90 @@
+#pragma once
+// Dynamic unstructured-overlay graph.
+//
+// Nodes are identified by dense ids; removed nodes leave a dead slot (ids are
+// never reused within one graph's lifetime) so protocol state keyed by NodeId
+// stays valid across churn. Links are bidirectional (§IV-A of the paper), and
+// removal does NOT rewire survivors — "nodes that have lost one or several
+// neighbors do not create new links".
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "p2pse/support/rng.hpp"
+
+namespace p2pse::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+class Graph {
+ public:
+  Graph() = default;
+  /// Pre-creates `initial_nodes` alive nodes with no edges.
+  explicit Graph(std::size_t initial_nodes);
+
+  /// Adds a new isolated alive node and returns its id.
+  NodeId add_node();
+
+  /// Removes the node and every incident edge. Survivors are not rewired.
+  /// No-op on dead/out-of-range ids.
+  void remove_node(NodeId id);
+
+  /// Adds the undirected edge {a,b}. Returns false (and does nothing) for
+  /// self-loops, duplicate edges, or dead endpoints.
+  bool add_edge(NodeId a, NodeId b);
+
+  /// Removes the undirected edge {a,b} if present. Returns true if removed.
+  bool remove_edge(NodeId a, NodeId b);
+
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const noexcept;
+  [[nodiscard]] bool is_alive(NodeId id) const noexcept {
+    return id < slots_.size() && slots_[id].alive;
+  }
+
+  /// Neighbors of an alive node (empty span for dead/out-of-range ids).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId id) const noexcept;
+  [[nodiscard]] std::size_t degree(NodeId id) const noexcept;
+
+  /// Number of alive nodes.
+  [[nodiscard]] std::size_t size() const noexcept { return alive_.size(); }
+  /// Total slots ever created (alive + dead); ids are < slot_count().
+  [[nodiscard]] std::size_t slot_count() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_; }
+  [[nodiscard]] bool empty() const noexcept { return alive_.empty(); }
+
+  /// Dense view of alive node ids (order is arbitrary and changes on churn).
+  [[nodiscard]] std::span<const NodeId> alive_nodes() const noexcept {
+    return alive_;
+  }
+
+  /// Uniformly random alive node; kInvalidNode if the graph is empty.
+  [[nodiscard]] NodeId random_alive(support::RngStream& rng) const noexcept;
+
+  /// Uniformly random neighbor of `id`; kInvalidNode if degree is 0.
+  [[nodiscard]] NodeId random_neighbor(NodeId id,
+                                       support::RngStream& rng) const noexcept;
+
+  /// Average degree over alive nodes (0 for an empty graph).
+  [[nodiscard]] double average_degree() const noexcept;
+
+  void reserve(std::size_t nodes);
+
+ private:
+  struct Slot {
+    std::vector<NodeId> adjacency;
+    std::uint32_t alive_pos = kInvalidNode;  ///< index into alive_, if alive
+    bool alive = false;
+  };
+
+  void detach_from(NodeId node, NodeId neighbor);
+
+  std::vector<Slot> slots_;
+  std::vector<NodeId> alive_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace p2pse::net

@@ -1,0 +1,80 @@
+#include "p2pse/net/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace p2pse::net {
+namespace {
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("load_graph: malformed input: " + what);
+}
+
+}  // namespace
+
+void save_graph(std::ostream& out, const Graph& graph) {
+  out << "p2pse-graph 1\n";
+  out << "nodes " << graph.slot_count() << "\n";
+  for (NodeId id = 0; id < graph.slot_count(); ++id) {
+    if (!graph.is_alive(id)) out << "dead " << id << "\n";
+  }
+  for (const NodeId a : graph.alive_nodes()) {
+    for (const NodeId b : graph.neighbors(a)) {
+      if (a < b) out << "edge " << a << " " << b << "\n";
+    }
+  }
+  if (!out) throw std::runtime_error("save_graph: stream failure");
+}
+
+Graph load_graph(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("p2pse-graph 1", 0) != 0) {
+    malformed("missing header");
+  }
+  Graph graph;
+  bool have_nodes = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string keyword;
+    row >> keyword;
+    if (keyword == "nodes") {
+      std::size_t count = 0;
+      if (!(row >> count)) malformed("nodes line");
+      if (have_nodes) malformed("duplicate nodes line");
+      graph = Graph(count);
+      have_nodes = true;
+    } else if (keyword == "dead") {
+      NodeId id = 0;
+      if (!have_nodes || !(row >> id)) malformed("dead line");
+      if (id >= graph.slot_count()) malformed("dead id out of range");
+      graph.remove_node(id);
+    } else if (keyword == "edge") {
+      NodeId a = 0, b = 0;
+      if (!have_nodes || !(row >> a >> b)) malformed("edge line");
+      if (a >= graph.slot_count() || b >= graph.slot_count()) {
+        malformed("edge id out of range");
+      }
+      if (!graph.add_edge(a, b)) malformed("unaddable edge");
+    } else {
+      malformed("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!have_nodes) malformed("no nodes line");
+  return graph;
+}
+
+void save_graph_file(const std::string& path, const Graph& graph) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_graph_file: cannot open " + path);
+  save_graph(out, graph);
+}
+
+Graph load_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_graph_file: cannot open " + path);
+  return load_graph(in);
+}
+
+}  // namespace p2pse::net

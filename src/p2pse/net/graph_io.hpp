@@ -1,0 +1,32 @@
+#pragma once
+// Overlay persistence: save/load a Graph as a plain-text snapshot so the
+// exact topology behind a published figure can be archived and re-used.
+//
+// Format (line-oriented, '#' comments allowed):
+//   p2pse-graph 1          header + format version
+//   nodes <slot_count>
+//   dead <id>              one line per dead slot (alive is the default)
+//   edge <a> <b>           one line per undirected edge, a < b
+//
+// Dead slots are preserved so NodeId-indexed protocol state stays valid
+// after a round-trip.
+
+#include <iosfwd>
+#include <string>
+
+#include "p2pse/net/graph.hpp"
+
+namespace p2pse::net {
+
+/// Writes `graph` to `out`. Throws std::runtime_error on stream failure.
+void save_graph(std::ostream& out, const Graph& graph);
+
+/// Reads a graph previously written by save_graph. Throws
+/// std::runtime_error on malformed input or stream failure.
+[[nodiscard]] Graph load_graph(std::istream& in);
+
+/// Convenience file wrappers.
+void save_graph_file(const std::string& path, const Graph& graph);
+[[nodiscard]] Graph load_graph_file(const std::string& path);
+
+}  // namespace p2pse::net

@@ -1,0 +1,47 @@
+#include "p2pse/net/random_walk.hpp"
+
+namespace p2pse::net {
+
+NodeId simple_walk_step(sim::Simulator& sim, NodeId from,
+                        support::RngStream& rng) {
+  const NodeId next = sim.graph().random_neighbor(from, rng);
+  if (next == kInvalidNode) return kInvalidNode;
+  sim.meter().count(sim::MessageClass::kWalkStep);
+  return next;
+}
+
+NodeId metropolis_hastings_step(sim::Simulator& sim, NodeId from,
+                                support::RngStream& rng) {
+  const Graph& graph = sim.graph();
+  const NodeId proposal = graph.random_neighbor(from, rng);
+  if (proposal == kInvalidNode) return kInvalidNode;
+  // Probing the proposal's degree costs the message either way.
+  sim.meter().count(sim::MessageClass::kWalkStep);
+  const double accept = static_cast<double>(graph.degree(from)) /
+                        static_cast<double>(graph.degree(proposal));
+  return rng.bernoulli(accept) ? proposal : from;
+}
+
+NodeId simple_walk(sim::Simulator& sim, NodeId start, std::uint64_t steps,
+                   support::RngStream& rng) {
+  NodeId current = start;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    const NodeId next = simple_walk_step(sim, current, rng);
+    if (next == kInvalidNode) break;
+    current = next;
+  }
+  return current;
+}
+
+NodeId metropolis_hastings_walk(sim::Simulator& sim, NodeId start,
+                                std::uint64_t steps, support::RngStream& rng) {
+  NodeId current = start;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    const NodeId next = metropolis_hastings_step(sim, current, rng);
+    if (next == kInvalidNode) break;
+    current = next;
+  }
+  return current;
+}
+
+}  // namespace p2pse::net

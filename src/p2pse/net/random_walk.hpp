@@ -1,0 +1,45 @@
+#pragma once
+// Reusable random-walk primitives over the overlay graph. Three walks matter
+// for the size-estimation literature:
+//
+//  * the simple walk — stationary distribution proportional to degree
+//    (biased on heterogeneous graphs; what naive samplers use);
+//  * the Metropolis–Hastings walk — a classic degree-corrected walk whose
+//    stationary distribution is uniform (an alternative unbiased sampler to
+//    Sample&Collide's T-walk; compared in the ablation benches);
+//  * the timer (T-) walk — Sample&Collide's continuous-time jump chain,
+//    implemented in est/sample_collide.* and built on step primitives here.
+//
+// All walks count one kWalkStep message per traversed edge.
+
+#include <cstdint>
+
+#include "p2pse/net/graph.hpp"
+#include "p2pse/sim/simulator.hpp"
+#include "p2pse/support/rng.hpp"
+
+namespace p2pse::net {
+
+/// One step of the simple random walk: uniform over neighbors.
+/// Returns kInvalidNode (and sends nothing) when `from` has no neighbors.
+NodeId simple_walk_step(sim::Simulator& sim, NodeId from,
+                        support::RngStream& rng);
+
+/// One step of the Metropolis–Hastings walk targeting the uniform
+/// distribution: propose a uniform neighbor v, accept with probability
+/// min(1, deg(from)/deg(v)), stay otherwise. A rejected proposal still costs
+/// the probe message (the proposal has to learn deg(v)).
+NodeId metropolis_hastings_step(sim::Simulator& sim, NodeId from,
+                                support::RngStream& rng);
+
+/// Runs `steps` simple-walk steps from `start` and returns the endpoint
+/// (degree-biased sample).
+NodeId simple_walk(sim::Simulator& sim, NodeId start, std::uint64_t steps,
+                   support::RngStream& rng);
+
+/// Runs `steps` Metropolis–Hastings steps from `start` and returns the
+/// endpoint (asymptotically uniform sample).
+NodeId metropolis_hastings_walk(sim::Simulator& sim, NodeId start,
+                                std::uint64_t steps, support::RngStream& rng);
+
+}  // namespace p2pse::net

@@ -1,0 +1,137 @@
+#include "p2pse/scenario/runner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "p2pse/support/thread_pool.hpp"
+
+namespace p2pse::scenario {
+
+ScenarioRunner::ScenarioRunner(ScenarioScript script, GraphFactory factory,
+                               std::uint64_t seed)
+    : script_(std::move(script)), factory_(std::move(factory)), seed_(seed) {
+  if (!factory_) {
+    throw std::invalid_argument("ScenarioRunner: graph factory is required");
+  }
+}
+
+net::NodeId ScenarioRunner::ensure_initiator(const net::Graph& graph,
+                                             net::NodeId current,
+                                             support::RngStream& rng) const {
+  if (graph.is_alive(current)) return current;
+  return graph.random_alive(rng);
+}
+
+Series ScenarioRunner::run_point(std::size_t estimations,
+                                 const PointEstimator& estimator,
+                                 std::uint64_t replica) const {
+  if (estimations == 0) return {};
+  const support::RngStream root = support::RngStream(seed_).split("replica", replica);
+  support::RngStream graph_rng = root.split("graph");
+  support::RngStream churn_rng = root.split("churn");
+  support::RngStream est_rng = root.split("estimator");
+  support::RngStream pick_rng = root.split("initiator");
+
+  sim::Simulator sim(factory_(graph_rng), root.split("sim").seed());
+  ScenarioCursor cursor(script_, sim.graph(), churn_rng);
+
+  const double interval =
+      script_.duration / static_cast<double>(estimations);
+  net::NodeId initiator = sim.graph().random_alive(pick_rng);
+
+  Series series;
+  series.reserve(estimations);
+  for (std::size_t i = 1; i <= estimations; ++i) {
+    const double t = interval * static_cast<double>(i);
+    cursor.advance_to(t);
+    sim.advance_to(t);
+    SeriesPoint point;
+    point.time = t;
+    point.truth = static_cast<double>(sim.graph().size());
+    if (sim.graph().empty()) {
+      point.valid = false;
+      series.push_back(point);
+      continue;
+    }
+    initiator = ensure_initiator(sim.graph(), initiator, pick_rng);
+    const est::Estimate e = estimator(sim, initiator, est_rng);
+    point.estimate = e.value;
+    point.valid = e.valid;
+    point.messages = e.messages;
+    series.push_back(point);
+  }
+  return series;
+}
+
+Series ScenarioRunner::run_aggregation(const est::AggregationConfig& config,
+                                       double rounds_per_unit,
+                                       std::uint64_t replica) const {
+  if (rounds_per_unit <= 0.0) {
+    throw std::invalid_argument("run_aggregation: rounds_per_unit must be > 0");
+  }
+  const support::RngStream root = support::RngStream(seed_).split("replica", replica);
+  support::RngStream graph_rng = root.split("graph");
+  support::RngStream churn_rng = root.split("churn");
+  support::RngStream est_rng = root.split("estimator");
+  support::RngStream pick_rng = root.split("initiator");
+
+  sim::Simulator sim(factory_(graph_rng), root.split("sim").seed());
+  ScenarioCursor cursor(script_, sim.graph(), churn_rng);
+
+  est::Aggregation aggregation(config);
+  const auto total_rounds = static_cast<std::uint64_t>(
+      std::llround(script_.duration * rounds_per_unit));
+  const double unit_per_round = 1.0 / rounds_per_unit;
+
+  Series series;
+  net::NodeId initiator = net::kInvalidNode;
+  std::uint64_t baseline_msgs = sim.meter().total();
+  std::uint32_t round_in_epoch = config.rounds_per_epoch;  // forces a restart
+
+  for (std::uint64_t round = 0; round < total_rounds; ++round) {
+    const double t = unit_per_round * static_cast<double>(round + 1);
+    cursor.advance_to(t);
+    sim.advance_to(t);
+    if (sim.graph().empty()) break;
+
+    if (round_in_epoch >= config.rounds_per_epoch) {
+      initiator = ensure_initiator(sim.graph(), initiator, pick_rng);
+      aggregation.start_epoch(sim, initiator);
+      baseline_msgs = sim.meter().total();
+      round_in_epoch = 0;
+    }
+    aggregation.run_round(sim, est_rng);
+    ++round_in_epoch;
+
+    if (round_in_epoch == config.rounds_per_epoch) {
+      // Epoch complete: read the estimate at the epoch's initiator, or at a
+      // random survivor when the initiator died mid-epoch (the estimate is
+      // available at every node, §V).
+      const net::NodeId reader =
+          ensure_initiator(sim.graph(), initiator, pick_rng);
+      est::Estimate e = aggregation.estimate_at(sim, reader);
+      SeriesPoint point;
+      point.time = t;
+      point.truth = static_cast<double>(sim.graph().size());
+      point.estimate = e.value;
+      point.valid = e.valid;
+      point.messages = sim.meter().since(baseline_msgs);
+      series.push_back(point);
+    }
+  }
+  return series;
+}
+
+std::vector<Series> ScenarioRunner::collect_replicas(
+    std::size_t n, const std::function<Series(std::uint64_t)>& fn) {
+  std::vector<Series> results(n);
+  if (n == 0) return results;
+  support::ThreadPool pool(std::min<std::size_t>(
+      n, std::max<std::size_t>(1, std::thread::hardware_concurrency())));
+  pool.parallel_for(n, [&](std::size_t i) {
+    results[i] = fn(static_cast<std::uint64_t>(i));
+  });
+  return results;
+}
+
+}  // namespace p2pse::scenario

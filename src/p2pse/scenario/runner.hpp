@@ -1,0 +1,87 @@
+#pragma once
+// Comparative-run driver: binds one overlay replica + one scenario script to
+// an estimator and records the (time, true size, estimate) series the
+// paper's figures plot. Two interaction patterns exist:
+//
+//  * point estimators (Sample&Collide, HopsSampling, RandomTour, ...) run an
+//    atomic estimation every `interval` time units — churn advances between
+//    estimations, matching the paper's "the monitoring process should sample
+//    continuously" usage;
+//  * Aggregation interleaves churn with gossip *rounds* (rounds_per_unit
+//    rounds per time unit) and produces one estimate per epoch; this is what
+//    exposes the conservative effect under shrinking membership.
+//
+// run_replicas() executes independent replicas (different seed-derived RNG
+// streams) on a thread pool; results are deterministic per (seed, replica).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "p2pse/est/aggregation.hpp"
+#include "p2pse/est/estimate.hpp"
+#include "p2pse/net/graph.hpp"
+#include "p2pse/scenario/timeline.hpp"
+#include "p2pse/sim/simulator.hpp"
+#include "p2pse/support/rng.hpp"
+
+namespace p2pse::scenario {
+
+/// One sample of an estimation series.
+struct SeriesPoint {
+  double time = 0.0;
+  double truth = 0.0;        ///< alive node count when the estimate completed
+  double estimate = 0.0;
+  bool valid = true;
+  std::uint64_t messages = 0;  ///< cost of this estimate
+};
+
+using Series = std::vector<SeriesPoint>;
+
+/// Produces one estimate from the bound simulator. The initiator is chosen
+/// by the runner (re-drawn when the previous one dies).
+using PointEstimator = std::function<est::Estimate(
+    sim::Simulator& sim, net::NodeId initiator, support::RngStream& rng)>;
+
+/// Builds a fresh overlay replica. Called once per replica with a
+/// replica-specific RNG stream.
+using GraphFactory = std::function<net::Graph(support::RngStream& rng)>;
+
+class ScenarioRunner {
+ public:
+  /// `seed` is the root seed; replica r derives graph/estimator/churn
+  /// substreams from split("replica", r).
+  ScenarioRunner(ScenarioScript script, GraphFactory factory,
+                 std::uint64_t seed);
+
+  /// Runs a point estimator `estimations` times, evenly spaced over the
+  /// script duration (first estimation after one interval).
+  [[nodiscard]] Series run_point(std::size_t estimations,
+                                 const PointEstimator& estimator,
+                                 std::uint64_t replica = 0) const;
+
+  /// Runs Aggregation epochs back to back; churn advances between rounds.
+  /// One series point per epoch.
+  [[nodiscard]] Series run_aggregation(const est::AggregationConfig& config,
+                                       double rounds_per_unit,
+                                       std::uint64_t replica = 0) const;
+
+  /// Runs `fn(replica)` for replicas [0, n) in parallel and collects results
+  /// in replica order.
+  [[nodiscard]] static std::vector<Series> collect_replicas(
+      std::size_t n, const std::function<Series(std::uint64_t)>& fn);
+
+  [[nodiscard]] const ScenarioScript& script() const noexcept { return script_; }
+
+ private:
+  [[nodiscard]] net::NodeId ensure_initiator(const net::Graph& graph,
+                                             net::NodeId current,
+                                             support::RngStream& rng) const;
+
+  ScenarioScript script_;
+  GraphFactory factory_;
+  std::uint64_t seed_;
+};
+
+}  // namespace p2pse::scenario

@@ -1,0 +1,72 @@
+#include "p2pse/scenario/scenarios.hpp"
+
+namespace p2pse::scenario {
+
+ScenarioScript static_script() {
+  ScenarioScript script;
+  script.name = "static";
+  script.duration = kScenarioDuration;
+  return script;
+}
+
+ScenarioScript catastrophic_script(std::size_t initial_nodes) {
+  ScenarioScript script;
+  script.name = "catastrophic";
+  script.duration = kScenarioDuration;
+  TimelineEvent first;
+  first.time = 100.0;
+  first.kind = TimelineEvent::Kind::kRemoveFraction;
+  first.fraction = 0.25;
+  TimelineEvent second = first;
+  second.time = 500.0;
+  TimelineEvent burst;
+  burst.time = 700.0;
+  burst.kind = TimelineEvent::Kind::kAddNodes;
+  burst.count = initial_nodes / 4;  // paper: +25 000 on a 1e5 overlay
+  script.events = {first, second, burst};
+  return script;
+}
+
+ScenarioScript growing_script(std::size_t initial_nodes) {
+  ScenarioScript script;
+  script.name = "growing";
+  script.duration = kScenarioDuration;
+  script.initial_arrival_rate =
+      0.5 * static_cast<double>(initial_nodes) / kScenarioDuration;
+  return script;
+}
+
+ScenarioScript shrinking_script(std::size_t initial_nodes) {
+  ScenarioScript script;
+  script.name = "shrinking";
+  script.duration = kScenarioDuration;
+  script.initial_departure_rate =
+      0.5 * static_cast<double>(initial_nodes) / kScenarioDuration;
+  return script;
+}
+
+ScenarioScript oscillating_script(std::size_t initial_nodes,
+                                  std::size_t cycles, double amplitude) {
+  ScenarioScript script;
+  script.name = "oscillating";
+  script.duration = kScenarioDuration;
+  if (cycles == 0) return script;
+  // Each cycle: half-phase of growth at +rate, half-phase of decay at -rate,
+  // with rate chosen so each phase moves the population by `amplitude`.
+  const double phase = kScenarioDuration / (2.0 * static_cast<double>(cycles));
+  const double rate =
+      amplitude * static_cast<double>(initial_nodes) / phase;
+  script.initial_arrival_rate = rate;
+  for (std::size_t c = 0; c < 2 * cycles; ++c) {
+    const bool grow_next = (c % 2) == 1;  // after phase 0 (growth) comes decay
+    TimelineEvent flip;
+    flip.time = phase * static_cast<double>(c + 1);
+    flip.kind = TimelineEvent::Kind::kSetRates;
+    flip.arrival_rate = grow_next ? rate : 0.0;
+    flip.departure_rate = grow_next ? 0.0 : rate;
+    script.events.push_back(flip);
+  }
+  return script;
+}
+
+}  // namespace p2pse::scenario

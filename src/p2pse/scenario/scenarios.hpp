@@ -1,0 +1,39 @@
+#pragma once
+// The paper's four evaluation scenarios (§IV-C/D) as ready-made scripts.
+// All dynamic scripts share one 0..1000 time axis so the three algorithms
+// face identical membership dynamics:
+//   catastrophic — −25 % at t=100, −25 % at t=500, +25 000 nodes at t=700
+//                  (caption of Fig 15);
+//   growing      — +50 % via constant arrivals over the full run;
+//   shrinking    — −50 % via constant departures over the full run.
+
+#include <cstddef>
+
+#include "p2pse/scenario/timeline.hpp"
+
+namespace p2pse::scenario {
+
+inline constexpr double kScenarioDuration = 1000.0;
+
+/// No churn at all; duration still 1000 units.
+[[nodiscard]] ScenarioScript static_script();
+
+/// Catastrophic failures: two −25 % drops plus a +25k burst (Figs 9/12/15).
+/// `growth_burst` scales with the initial size (paper: 25 000 at 1e5).
+[[nodiscard]] ScenarioScript catastrophic_script(std::size_t initial_nodes);
+
+/// Growing network: initial_nodes -> 1.5 * initial_nodes (Figs 10/13/16).
+[[nodiscard]] ScenarioScript growing_script(std::size_t initial_nodes);
+
+/// Shrinking network: initial_nodes -> 0.5 * initial_nodes (Figs 11/14/17).
+[[nodiscard]] ScenarioScript shrinking_script(std::size_t initial_nodes);
+
+/// Flash-crowd oscillation (extension beyond the paper's three scenarios):
+/// `cycles` alternating phases of +amplitude growth then -amplitude decay,
+/// implemented as kSetRates square waves. Stresses estimator tracking under
+/// repeated reversals instead of one monotone trend.
+[[nodiscard]] ScenarioScript oscillating_script(std::size_t initial_nodes,
+                                                std::size_t cycles = 4,
+                                                double amplitude = 0.25);
+
+}  // namespace p2pse::scenario

@@ -1,0 +1,60 @@
+#include "p2pse/scenario/timeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2pse::scenario {
+
+ScenarioCursor::ScenarioCursor(const ScenarioScript& script, net::Graph& graph,
+                               support::RngStream rng)
+    : script_(&script),
+      graph_(&graph),
+      rng_(rng),
+      churn_(script.initial_arrival_rate, script.initial_departure_rate,
+             script.join_policy) {
+  double prev = 0.0;
+  for (const auto& event : script.events) {
+    if (event.time < prev || event.time > script.duration) {
+      throw std::invalid_argument(
+          "ScenarioScript: events must be sorted within [0, duration]");
+    }
+    prev = event.time;
+  }
+}
+
+void ScenarioCursor::apply(const TimelineEvent& event) {
+  switch (event.kind) {
+    case TimelineEvent::Kind::kRemoveFraction:
+      net::remove_fraction(*graph_, event.fraction, rng_);
+      break;
+    case TimelineEvent::Kind::kAddNodes:
+      net::add_nodes(*graph_, event.count, script_->join_policy, rng_);
+      break;
+    case TimelineEvent::Kind::kSetRates:
+      churn_ = net::ConstantChurn(event.arrival_rate, event.departure_rate,
+                                  script_->join_policy);
+      break;
+  }
+}
+
+void ScenarioCursor::advance_to(double t) {
+  t = std::min(t, script_->duration);
+  while (now_ < t) {
+    double segment_end = t;
+    if (next_event_ < script_->events.size()) {
+      segment_end = std::min(segment_end, script_->events[next_event_].time);
+    }
+    if (segment_end > now_) {
+      churn_.step(*graph_, segment_end - now_, rng_);
+      now_ = segment_end;
+    }
+    while (next_event_ < script_->events.size() &&
+           script_->events[next_event_].time <= now_) {
+      apply(script_->events[next_event_]);
+      ++next_event_;
+    }
+    if (segment_end == t && now_ >= t) break;
+  }
+}
+
+}  // namespace p2pse::scenario

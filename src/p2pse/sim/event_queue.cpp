@@ -1,0 +1,34 @@
+#include "p2pse/sim/event_queue.hpp"
+
+#include <utility>
+
+namespace p2pse::sim {
+
+void EventQueue::schedule(Time when, Callback callback) {
+  heap_.push(Entry{when, next_seq_++, std::move(callback)});
+}
+
+Time EventQueue::run_next() {
+  // priority_queue::top() is const; the callback must be moved out before
+  // popping so it can run after the entry leaves the heap.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  entry.callback();
+  return entry.when;
+}
+
+std::size_t EventQueue::run_until(Time until) {
+  std::size_t count = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    run_next();
+    ++count;
+  }
+  return count;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace p2pse::sim

@@ -1,0 +1,52 @@
+#pragma once
+// Discrete-event queue: events fire in (time, sequence) order, so ties are
+// broken by insertion order and runs are fully deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace p2pse::sim {
+
+using Time = double;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `callback` at absolute time `when`. Events scheduled at equal
+  /// times fire in scheduling order.
+  void schedule(Time when, Callback callback);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  /// Time of the earliest pending event. Undefined when empty().
+  [[nodiscard]] Time next_time() const noexcept { return heap_.top().when; }
+
+  /// Pops and runs the earliest event; returns its time.
+  Time run_next();
+
+  /// Runs all events with time <= `until` (inclusive). Returns the number run.
+  std::size_t run_until(Time until);
+
+  /// Drops all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace p2pse::sim

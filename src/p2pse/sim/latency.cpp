@@ -1,0 +1,52 @@
+#include "p2pse/sim/latency.hpp"
+
+#include <stdexcept>
+
+namespace p2pse::sim {
+
+LatencyModel LatencyModel::constant(double hop) {
+  if (hop < 0.0) throw std::invalid_argument("LatencyModel: negative latency");
+  return LatencyModel(Kind::kConstant, hop, hop);
+}
+
+LatencyModel LatencyModel::uniform(double lo, double hi) {
+  if (lo < 0.0 || hi < lo) {
+    throw std::invalid_argument("LatencyModel: invalid uniform range");
+  }
+  return LatencyModel(Kind::kUniform, lo, hi);
+}
+
+LatencyModel LatencyModel::exponential(double mean) {
+  if (mean <= 0.0) {
+    throw std::invalid_argument("LatencyModel: exponential mean must be > 0");
+  }
+  return LatencyModel(Kind::kExponential, mean, 0.0);
+}
+
+double LatencyModel::sample(support::RngStream& rng) const {
+  switch (kind_) {
+    case Kind::kConstant: return a_;
+    case Kind::kUniform: return rng.uniform_real(a_, b_);
+    case Kind::kExponential: return rng.exponential(1.0 / a_);
+  }
+  return a_;
+}
+
+double LatencyModel::mean() const noexcept {
+  switch (kind_) {
+    case Kind::kConstant: return a_;
+    case Kind::kUniform: return 0.5 * (a_ + b_);
+    case Kind::kExponential: return a_;
+  }
+  return a_;
+}
+
+double LatencyModel::sequential(std::uint64_t hops,
+                                support::RngStream& rng) const {
+  if (kind_ == Kind::kConstant) return a_ * static_cast<double>(hops);
+  double total = 0.0;
+  for (std::uint64_t i = 0; i < hops; ++i) total += sample(rng);
+  return total;
+}
+
+}  // namespace p2pse::sim

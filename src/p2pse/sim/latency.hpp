@@ -1,0 +1,56 @@
+#pragma once
+// Per-message latency models — the paper's stated future work ("the
+// physical network modeling would be an interesting goal") and the basis of
+// its §V delay conjecture: "HopsSampling probably outperforms the other
+// algorithms in terms of delay ... a gossip based broadcast and an
+// immediate ACK response ... is very likely to be much shorter than the 50
+// rounds of Aggregation or the wait for 200 equivalent samples of
+// Sample&Collide".
+//
+// The estimation protocols differ in how hop latencies compose:
+//  * Sample&Collide: walks are SEQUENTIAL — each sample's delay is the sum
+//    of its hop latencies plus the reply, and samples run one after another
+//    (the initiator needs the previous sample to decide whether to stop);
+//  * HopsSampling: the spread advances in PARALLEL — the poll's depth d
+//    costs ~d hop latencies, plus one reply hop;
+//  * Aggregation: synchronized rounds — each round lasts at least one
+//    round-trip (the gossip period), so an epoch costs rounds * period.
+// est/delay.hpp turns protocol run statistics into wall-clock delay
+// estimates under one of these models.
+
+#include <cstdint>
+
+#include "p2pse/support/rng.hpp"
+
+namespace p2pse::sim {
+
+/// A distribution of one-way per-hop message latencies (milliseconds or any
+/// consistent unit).
+class LatencyModel {
+ public:
+  /// Every hop takes exactly `hop` units.
+  [[nodiscard]] static LatencyModel constant(double hop);
+  /// Hop latency uniform in [lo, hi).
+  [[nodiscard]] static LatencyModel uniform(double lo, double hi);
+  /// Hop latency exponential with the given mean (heavy-ish tail).
+  [[nodiscard]] static LatencyModel exponential(double mean);
+
+  /// Draws one hop latency.
+  [[nodiscard]] double sample(support::RngStream& rng) const;
+
+  /// Mean per-hop latency.
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Sum of `hops` independent hop latencies (sequential composition).
+  [[nodiscard]] double sequential(std::uint64_t hops,
+                                  support::RngStream& rng) const;
+
+ private:
+  enum class Kind { kConstant, kUniform, kExponential };
+  LatencyModel(Kind kind, double a, double b) : kind_(kind), a_(a), b_(b) {}
+  Kind kind_;
+  double a_;
+  double b_;
+};
+
+}  // namespace p2pse::sim

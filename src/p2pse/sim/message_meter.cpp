@@ -1,0 +1,25 @@
+#include "p2pse/sim/message_meter.hpp"
+
+#include <numeric>
+
+namespace p2pse::sim {
+
+std::string_view to_string(MessageClass cls) noexcept {
+  switch (cls) {
+    case MessageClass::kWalkStep: return "walk_step";
+    case MessageClass::kSampleReply: return "sample_reply";
+    case MessageClass::kGossipSpread: return "gossip_spread";
+    case MessageClass::kPollReply: return "poll_reply";
+    case MessageClass::kAggregationPush: return "aggregation_push";
+    case MessageClass::kAggregationPull: return "aggregation_pull";
+    case MessageClass::kControl: return "control";
+    case MessageClass::kCount_: break;
+  }
+  return "unknown";
+}
+
+std::uint64_t MessageMeter::total() const noexcept {
+  return std::accumulate(counters_.begin(), counters_.end(), std::uint64_t{0});
+}
+
+}  // namespace p2pse::sim

@@ -1,0 +1,48 @@
+#pragma once
+// Message accounting — the paper's overhead metric is "the number of
+// messages sent to produce the estimation" (§IV-E). Counters are grouped by
+// message class so spreading, reply and walk traffic can be reported apart.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace p2pse::sim {
+
+enum class MessageClass : std::uint8_t {
+  kWalkStep = 0,     ///< one hop of a random walk (Sample&Collide, RandomTour)
+  kSampleReply,      ///< sampled node's report back to the initiator
+  kGossipSpread,     ///< HopsSampling spread / polling messages
+  kPollReply,        ///< HopsSampling probabilistic responses
+  kAggregationPush,  ///< Aggregation push half of an exchange
+  kAggregationPull,  ///< Aggregation pull half of an exchange
+  kControl,          ///< restarts, epoch tags, miscellaneous
+  kCount_            ///< sentinel
+};
+
+[[nodiscard]] std::string_view to_string(MessageClass cls) noexcept;
+
+class MessageMeter {
+ public:
+  void count(MessageClass cls, std::uint64_t n = 1) noexcept {
+    counters_[static_cast<std::size_t>(cls)] += n;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  [[nodiscard]] std::uint64_t of(MessageClass cls) const noexcept {
+    return counters_[static_cast<std::size_t>(cls)];
+  }
+
+  void reset() noexcept { counters_.fill(0); }
+
+  /// Difference helper: messages accumulated since `baseline_total`.
+  [[nodiscard]] std::uint64_t since(std::uint64_t baseline_total) const noexcept {
+    return total() - baseline_total;
+  }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(MessageClass::kCount_)>
+      counters_{};
+};
+
+}  // namespace p2pse::sim

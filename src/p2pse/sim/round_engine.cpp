@@ -1,0 +1,31 @@
+#include "p2pse/sim/round_engine.hpp"
+
+namespace p2pse::sim {
+
+void RoundEngine::one_round(std::uint64_t index,
+                            const std::function<void(std::uint64_t)>& body) {
+  if (pre_round_) pre_round_(index);
+  body(index);
+  sim_.advance_to(sim_.now() + round_duration_);
+  ++rounds_completed_;
+}
+
+std::uint64_t RoundEngine::run(std::uint64_t rounds,
+                               const std::function<void(std::uint64_t)>& body) {
+  const std::uint64_t start = rounds_completed_;
+  for (std::uint64_t r = 0; r < rounds; ++r) one_round(start + r, body);
+  return rounds_completed_;
+}
+
+std::uint64_t RoundEngine::run_while(
+    std::uint64_t max_rounds, const std::function<bool(std::uint64_t)>& keep_going,
+    const std::function<void(std::uint64_t)>& body) {
+  const std::uint64_t start = rounds_completed_;
+  for (std::uint64_t r = 0; r < max_rounds; ++r) {
+    if (!keep_going(start + r)) break;
+    one_round(start + r, body);
+  }
+  return rounds_completed_;
+}
+
+}  // namespace p2pse::sim

@@ -1,0 +1,51 @@
+#pragma once
+// Synchronous gossip rounds on top of the event queue. HopsSampling's spread
+// and Aggregation's push-pull averaging are round-based protocols; the round
+// engine advances the clock one round at a time and interleaves churn hooks
+// between rounds, which is how the paper's dynamic scenarios operate.
+
+#include <cstdint>
+#include <functional>
+
+#include "p2pse/sim/simulator.hpp"
+
+namespace p2pse::sim {
+
+class RoundEngine {
+ public:
+  /// `round_duration` is the simulated-time length of one round.
+  explicit RoundEngine(Simulator& sim, Time round_duration = 1.0) noexcept
+      : sim_(sim), round_duration_(round_duration) {}
+
+  /// Hook invoked before each round body (e.g. churn). Receives the round
+  /// index. Optional.
+  void set_pre_round_hook(std::function<void(std::uint64_t)> hook) {
+    pre_round_ = std::move(hook);
+  }
+
+  /// Runs `rounds` rounds of `body`. The body receives the round index.
+  /// Returns the index of the last executed round + 1.
+  std::uint64_t run(std::uint64_t rounds,
+                    const std::function<void(std::uint64_t)>& body);
+
+  /// Runs rounds while `keep_going(round)` returns true, up to `max_rounds`.
+  std::uint64_t run_while(std::uint64_t max_rounds,
+                          const std::function<bool(std::uint64_t)>& keep_going,
+                          const std::function<void(std::uint64_t)>& body);
+
+  [[nodiscard]] std::uint64_t rounds_completed() const noexcept {
+    return rounds_completed_;
+  }
+  [[nodiscard]] Time round_duration() const noexcept { return round_duration_; }
+
+ private:
+  void one_round(std::uint64_t index,
+                 const std::function<void(std::uint64_t)>& body);
+
+  Simulator& sim_;
+  Time round_duration_;
+  std::function<void(std::uint64_t)> pre_round_;
+  std::uint64_t rounds_completed_ = 0;
+};
+
+}  // namespace p2pse::sim

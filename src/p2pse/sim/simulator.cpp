@@ -1,0 +1,20 @@
+#include "p2pse/sim/simulator.hpp"
+
+namespace p2pse::sim {
+
+void Simulator::run_until(Time until) {
+  while (!events_.empty() && events_.next_time() <= until) {
+    now_ = events_.next_time();
+    events_.run_next();
+  }
+  if (until > now_) now_ = until;
+}
+
+void Simulator::run_all() {
+  while (!events_.empty()) {
+    now_ = events_.next_time();
+    events_.run_next();
+  }
+}
+
+}  // namespace p2pse::sim

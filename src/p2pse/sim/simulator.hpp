@@ -1,0 +1,57 @@
+#pragma once
+// The simulation context shared by every protocol: the overlay graph, the
+// event queue, the simulated clock, the message meter and the root RNG.
+// Matches the paper's simulator contract (§IV-A): messages are counted;
+// physical topology, queuing delay and loss are not modelled.
+
+#include <cstdint>
+
+#include "p2pse/net/graph.hpp"
+#include "p2pse/sim/event_queue.hpp"
+#include "p2pse/sim/message_meter.hpp"
+#include "p2pse/support/rng.hpp"
+
+namespace p2pse::sim {
+
+class Simulator {
+ public:
+  /// Takes ownership of the overlay. `seed` feeds the root RNG; protocol
+  /// components should derive substreams via rng().split(tag).
+  Simulator(net::Graph graph, std::uint64_t seed)
+      : graph_(std::move(graph)), rng_(seed) {}
+
+  [[nodiscard]] net::Graph& graph() noexcept { return graph_; }
+  [[nodiscard]] const net::Graph& graph() const noexcept { return graph_; }
+
+  [[nodiscard]] EventQueue& events() noexcept { return events_; }
+  [[nodiscard]] MessageMeter& meter() noexcept { return meter_; }
+  [[nodiscard]] const MessageMeter& meter() const noexcept { return meter_; }
+  [[nodiscard]] support::RngStream& rng() noexcept { return rng_; }
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `callback` `delay` time units from now.
+  void schedule_in(Time delay, EventQueue::Callback callback) {
+    events_.schedule(now_ + delay, std::move(callback));
+  }
+
+  /// Runs events until the queue is empty or the clock passes `until`.
+  void run_until(Time until);
+
+  /// Runs every pending event.
+  void run_all();
+
+  /// Advances the clock without running events (used by round drivers).
+  void advance_to(Time t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  net::Graph graph_;
+  EventQueue events_;
+  MessageMeter meter_;
+  support::RngStream rng_;
+  Time now_ = 0.0;
+};
+
+}  // namespace p2pse::sim

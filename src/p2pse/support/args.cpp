@@ -1,0 +1,112 @@
+#include "p2pse/support/args.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace p2pse::support {
+namespace {
+
+bool looks_like_option(std::string_view arg) {
+  return arg.size() >= 3 && arg.substr(0, 2) == "--";
+}
+
+}  // namespace
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (!looks_like_option(arg)) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      options_.emplace(std::string(body.substr(0, eq)),
+                       std::string(body.substr(eq + 1)));
+      continue;
+    }
+    // "--name value" unless the next token is itself an option, in which
+    // case "--name" is a boolean flag.
+    if (i + 1 < argc && !looks_like_option(argv[i + 1])) {
+      options_.emplace(std::string(body), std::string(argv[i + 1]));
+      ++i;
+    } else {
+      options_.emplace(std::string(body), "true");
+    }
+  }
+}
+
+bool Args::has(std::string_view name) const {
+  return options_.find(name) != options_.end();
+}
+
+std::optional<std::string> Args::raw(std::string_view name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_string(std::string_view name,
+                             std::string default_value) const {
+  const auto value = raw(name);
+  return value ? *value : std::move(default_value);
+}
+
+std::int64_t Args::get_int(std::string_view name,
+                           std::int64_t default_value) const {
+  const auto value = raw(name);
+  if (!value) return default_value;
+  std::int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value->data(), value->data() + value->size(), out);
+  if (ec != std::errc{} || ptr != value->data() + value->size()) {
+    throw std::invalid_argument("--" + std::string(name) +
+                                ": expected integer, got '" + *value + "'");
+  }
+  return out;
+}
+
+std::uint64_t Args::get_uint(std::string_view name,
+                             std::uint64_t default_value) const {
+  const std::int64_t v = get_int(name, static_cast<std::int64_t>(default_value));
+  if (v < 0) {
+    throw std::invalid_argument("--" + std::string(name) +
+                                ": expected non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double Args::get_double(std::string_view name, double default_value) const {
+  const auto value = raw(name);
+  if (!value) return default_value;
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(*value, &consumed);
+    if (consumed != value->size()) throw std::invalid_argument("trailing");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + std::string(name) +
+                                ": expected number, got '" + *value + "'");
+  }
+}
+
+bool Args::get_bool(std::string_view name, bool default_value) const {
+  const auto value = raw(name);
+  if (!value) return default_value;
+  if (*value == "true" || *value == "1" || *value == "yes" || *value == "on") {
+    return true;
+  }
+  if (*value == "false" || *value == "0" || *value == "no" || *value == "off") {
+    return false;
+  }
+  throw std::invalid_argument("--" + std::string(name) +
+                              ": expected boolean, got '" + *value + "'");
+}
+
+}  // namespace p2pse::support

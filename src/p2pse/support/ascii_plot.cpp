@@ -1,0 +1,140 @@
+#include "p2pse/support/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace p2pse::support {
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  [[nodiscard]] bool valid() const { return lo <= hi; }
+};
+
+double transform(double v, bool log_scale) {
+  return log_scale ? std::log10(v) : v;
+}
+
+bool plottable(double v, bool log_scale) {
+  return std::isfinite(v) && (!log_scale || v > 0.0);
+}
+
+std::string format_tick(double v) {
+  char buf[32];
+  if (std::abs(v) >= 10000.0 || (v != 0.0 && std::abs(v) < 0.01)) {
+    std::snprintf(buf, sizeof buf, "%.2g", v);
+  } else if (v == std::floor(v)) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options) {
+  const int width = std::max(16, options.width);
+  const int height = std::max(6, options.height);
+
+  Range xr, yr;
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (plottable(s.x[i], options.log_x) && plottable(s.y[i], options.log_y)) {
+        xr.include(transform(s.x[i], options.log_x));
+        yr.include(transform(s.y[i], options.log_y));
+      }
+    }
+  }
+  // Explicit axis limits override the data fit.
+  const auto apply_limit = [](double requested, bool log_scale, double& slot) {
+    if (!std::isnan(requested) && plottable(requested, log_scale)) {
+      slot = transform(requested, log_scale);
+    }
+  };
+  apply_limit(options.x_min, options.log_x, xr.lo);
+  apply_limit(options.x_max, options.log_x, xr.hi);
+  apply_limit(options.y_min, options.log_y, yr.lo);
+  apply_limit(options.y_max, options.log_y, yr.hi);
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  if (!xr.valid() || !yr.valid()) {
+    out << "  (no plottable data)\n";
+    return out.str();
+  }
+  if (xr.hi == xr.lo) xr.hi = xr.lo + 1.0;
+  if (yr.hi == yr.lo) yr.hi = yr.lo + 1.0;
+
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!plottable(s.x[i], options.log_x) || !plottable(s.y[i], options.log_y)) {
+        continue;
+      }
+      const double tx = transform(s.x[i], options.log_x);
+      const double ty = transform(s.y[i], options.log_y);
+      const int col = static_cast<int>(std::lround(
+          (tx - xr.lo) / (xr.hi - xr.lo) * (width - 1)));
+      const int row = static_cast<int>(std::lround(
+          (ty - yr.lo) / (yr.hi - yr.lo) * (height - 1)));
+      if (col < 0 || col >= width || row < 0 || row >= height) continue;
+      // Row 0 of the canvas is the top; y grows upward.
+      canvas[static_cast<std::size_t>(height - 1 - row)]
+            [static_cast<std::size_t>(col)] = s.glyph;
+    }
+  }
+
+  const auto untransform = [](double v, bool log_scale) {
+    return log_scale ? std::pow(10.0, v) : v;
+  };
+  const std::string y_top = format_tick(untransform(yr.hi, options.log_y));
+  const std::string y_bot = format_tick(untransform(yr.lo, options.log_y));
+  const std::size_t label_width = std::max(y_top.size(), y_bot.size());
+
+  for (int r = 0; r < height; ++r) {
+    std::string label(label_width, ' ');
+    if (r == 0) {
+      label = std::string(label_width - y_top.size(), ' ') + y_top;
+    } else if (r == height - 1) {
+      label = std::string(label_width - y_bot.size(), ' ') + y_bot;
+    }
+    out << label << " |" << canvas[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(label_width, ' ') << " +"
+      << std::string(static_cast<std::size_t>(width), '-') << '\n';
+  const std::string x_lo = format_tick(untransform(xr.lo, options.log_x));
+  const std::string x_hi = format_tick(untransform(xr.hi, options.log_x));
+  std::string x_line = std::string(label_width + 2, ' ') + x_lo;
+  const std::string x_axis_note =
+      options.x_label + (options.log_x ? " (log)" : "");
+  const std::size_t right_edge = label_width + 2 + static_cast<std::size_t>(width);
+  if (x_line.size() + x_hi.size() < right_edge) {
+    x_line += std::string(right_edge - x_line.size() - x_hi.size(), ' ');
+  } else {
+    x_line += ' ';
+  }
+  x_line += x_hi;
+  out << x_line << '\n';
+  out << std::string(label_width + 2, ' ') << "x: " << x_axis_note
+      << "   y: " << options.y_label << (options.log_y ? " (log)" : "") << '\n';
+  out << std::string(label_width + 2, ' ') << "legend:";
+  for (const auto& s : series) out << "  '" << s.glyph << "' " << s.name;
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace p2pse::support

@@ -1,0 +1,39 @@
+#pragma once
+// Terminal renderings of the paper's figures: multi-series scatter/line plots
+// on a character canvas with labelled axes. Log scales supported (Fig 7).
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace p2pse::support {
+
+/// One plottable series: x/y pairs plus the glyph used to draw it.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char glyph = '*';
+};
+
+struct PlotOptions {
+  int width = 72;    ///< canvas columns (excluding axis labels)
+  int height = 20;   ///< canvas rows
+  bool log_x = false;
+  bool log_y = false;
+  std::string x_label = "x";
+  std::string y_label = "y";
+  std::string title;
+  /// Optional fixed axis ranges; NaN means auto-fit to the data.
+  double x_min = std::numeric_limits<double>::quiet_NaN();
+  double x_max = std::numeric_limits<double>::quiet_NaN();
+  double y_min = std::numeric_limits<double>::quiet_NaN();
+  double y_max = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Renders the series onto a text canvas. Non-finite points and (on log axes)
+/// non-positive points are skipped. Returns a multi-line string.
+[[nodiscard]] std::string render_plot(const std::vector<Series>& series,
+                                      const PlotOptions& options);
+
+}  // namespace p2pse::support

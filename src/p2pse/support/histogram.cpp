@@ -1,0 +1,94 @@
+#include "p2pse/support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2pse::support {
+
+void IntHistogram::add(std::uint64_t value, std::uint64_t weight) {
+  counts_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t IntHistogram::count(std::uint64_t value) const noexcept {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t IntHistogram::min() const noexcept {
+  return counts_.empty() ? 0 : counts_.begin()->first;
+}
+
+std::uint64_t IntHistogram::max() const noexcept {
+  return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+double IntHistogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double acc = 0.0;
+  for (const auto& [value, count] : counts_) {
+    acc += static_cast<double>(value) * static_cast<double>(count);
+  }
+  return acc / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> IntHistogram::items() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+std::vector<LogBin> log_binned(const IntHistogram& hist, int bins_per_decade) {
+  std::vector<LogBin> bins;
+  if (hist.empty() || bins_per_decade <= 0) return bins;
+  const double factor = std::pow(10.0, 1.0 / bins_per_decade);
+  // Values of 0 cannot appear on a log axis; fold them into the first bin
+  // starting at 1 is wrong, so they are skipped (a degree-0 node has no place
+  // in a log-log degree plot).
+  const double total = static_cast<double>(hist.total());
+
+  double lower = 1.0;
+  for (const auto& [value, count] : hist.items()) {
+    if (value == 0) continue;
+    while (static_cast<double>(value) >= lower * factor) lower *= factor;
+    const double upper = lower * factor;
+    if (!bins.empty() && bins.back().lower == lower) {
+      bins.back().count += count;
+    } else {
+      LogBin bin;
+      bin.lower = lower;
+      bin.upper = upper;
+      bin.center = std::sqrt(lower * upper);
+      bin.count = count;
+      bins.push_back(bin);
+    }
+  }
+  for (auto& bin : bins) {
+    const double width = bin.upper - bin.lower;
+    bin.density = width > 0.0 && total > 0.0
+                      ? static_cast<double>(bin.count) / (width * total)
+                      : 0.0;
+  }
+  return bins;
+}
+
+double power_law_slope(const std::vector<LogBin>& bins) {
+  // Simple least squares on (log10 center, log10 density), skipping empties.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (const auto& bin : bins) {
+    if (bin.count == 0 || bin.density <= 0.0) continue;
+    const double x = std::log10(bin.center);
+    const double y = std::log10(bin.density);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (dn * sxy - sx * sy) / denom;
+}
+
+}  // namespace p2pse::support

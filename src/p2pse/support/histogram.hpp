@@ -1,0 +1,49 @@
+#pragma once
+// Histograms for degree distributions: exact integer counts plus logarithmic
+// binning for power-law plots (paper Fig 7 is a log-log degree distribution).
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace p2pse::support {
+
+/// Exact frequency count over non-negative integer values (e.g. node degrees).
+class IntHistogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  [[nodiscard]] std::uint64_t count(std::uint64_t value) const noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return counts_.empty(); }
+
+  /// (value, count) pairs in increasing value order.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> items() const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// One bin of a log-binned histogram.
+struct LogBin {
+  double lower = 0.0;       ///< inclusive lower edge
+  double upper = 0.0;       ///< exclusive upper edge
+  double center = 0.0;      ///< geometric center
+  std::uint64_t count = 0;  ///< raw count in the bin
+  double density = 0.0;     ///< count / (bin width * total), for log-log plots
+};
+
+/// Rebins an exact integer histogram into logarithmically spaced bins,
+/// `bins_per_decade` bins per factor-of-ten. Empty bins are omitted.
+[[nodiscard]] std::vector<LogBin> log_binned(const IntHistogram& hist,
+                                             int bins_per_decade = 8);
+
+/// Least-squares slope of log10(density) vs log10(center) over log bins —
+/// the estimated power-law exponent (expected near -3 for Barabási–Albert).
+[[nodiscard]] double power_law_slope(const std::vector<LogBin>& bins);
+
+}  // namespace p2pse::support

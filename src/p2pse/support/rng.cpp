@@ -1,0 +1,85 @@
+#include "p2pse/support/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#ifdef __SIZEOF_INT128__
+using uint128 = unsigned __int128;
+#endif
+
+namespace p2pse::support {
+
+std::uint64_t RngStream::uniform_u64(std::uint64_t bound) noexcept {
+  // bound == 0 would be a caller bug; return 0 deterministically rather than
+  // dividing by zero. Callers assert on their side.
+  if (bound == 0) return 0;
+#ifdef __SIZEOF_INT128__
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = engine_();
+  uint128 m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = engine_();
+      m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+#else
+  // Portable rejection sampling fallback.
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t x;
+  do {
+    x = engine_();
+  } while (x >= limit);
+  return x % bound;
+#endif
+}
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+double RngStream::exponential(double rate) noexcept {
+  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+  return -std::log(uniform_real_open0()) / rate;
+}
+
+std::vector<std::size_t> RngStream::sample_without_replacement(std::size_t n,
+                                                               std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Two regimes: Floyd's algorithm for sparse draws, partial Fisher-Yates for
+  // dense draws (k a large fraction of n).
+  if (k * 4 <= n) {
+    std::unordered_set<std::size_t> chosen;
+    chosen.reserve(k * 2);
+    for (std::size_t j = n - k; j < n; ++j) {
+      const std::size_t t = static_cast<std::size_t>(uniform_u64(j + 1));
+      if (chosen.insert(t).second) {
+        out.push_back(t);
+      } else {
+        chosen.insert(j);
+        out.push_back(j);
+      }
+    }
+  } else {
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(uniform_u64(n - i));
+      std::swap(pool[i], pool[j]);
+      out.push_back(pool[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace p2pse::support

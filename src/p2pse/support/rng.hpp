@@ -1,0 +1,158 @@
+#pragma once
+// Deterministic, splittable pseudo-random number generation.
+//
+// Every stochastic component of the simulator draws from its own RngStream,
+// derived deterministically from a root seed and a textual tag. Simulations
+// are therefore reproducible bit-for-bit regardless of how replicas are
+// scheduled across threads.
+//
+// Engine: xoshiro256** (Blackman & Vigna), seeded via SplitMix64. Both are
+// public-domain algorithms reimplemented here so the library has no
+// dependency beyond the standard library.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace p2pse::support {
+
+/// SplitMix64 step: used for seeding and for hashing tags into seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a hash of a string, for deriving per-component substreams.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// xoshiro256** engine. Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0xdeadbeefULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+    // zero outputs in a row, but guard anyway.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// A stream of random variates with convenience distributions and
+/// deterministic substream derivation.
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t seed = 0xdeadbeefULL) noexcept
+      : seed_(seed), engine_(seed) {}
+
+  /// Root seed this stream was created with.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Derives an independent stream for component `tag` (and optional index),
+  /// without perturbing this stream's state.
+  [[nodiscard]] RngStream split(std::string_view tag, std::uint64_t index = 0) const noexcept {
+    std::uint64_t mix = seed_ ^ (fnv1a(tag) + 0x9e3779b97f4a7c15ULL * (index + 1));
+    return RngStream(splitmix64(mix));
+  }
+
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t next_u64() noexcept { return engine_(); }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform_real() noexcept {
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in (0, 1] — safe as a log() argument.
+  [[nodiscard]] double uniform_real_open0() noexcept {
+    return 1.0 - uniform_real();
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform_real();
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform_real() < p;
+  }
+
+  /// Exponentially distributed variate with the given rate (mean 1/rate).
+  [[nodiscard]] double exponential(double rate = 1.0) noexcept;
+
+  /// Fisher–Yates shuffle of a span.
+  template <typename T>
+  void shuffle(std::span<T> values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Picks a uniformly random element of a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> values) noexcept {
+    return values[static_cast<std::size_t>(uniform_u64(values.size()))];
+  }
+
+  /// Samples `k` distinct indices from [0, n). Requires k <= n.
+  /// Order of the returned indices is unspecified.
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                                    std::size_t k);
+
+ private:
+  std::uint64_t seed_;
+  Xoshiro256 engine_;
+};
+
+}  // namespace p2pse::support

@@ -1,0 +1,71 @@
+#pragma once
+// Small statistics kit: numerically stable running moments (Welford),
+// order statistics, and accuracy metrics used throughout the evaluation.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace p2pse::support {
+
+/// Numerically stable running mean/variance accumulator (Welford's method).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merges another accumulator (parallel reduction; Chan et al. update).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample: moments plus selected quantiles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Linear-interpolation quantile of an unsorted sample (copies the data).
+/// `q` in [0,1]. Returns 0 for an empty sample.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+/// Computes the full summary of a sample.
+[[nodiscard]] Summary summarize(const std::vector<double>& values);
+
+/// Relative error of an estimate vs ground truth: (est - truth) / truth.
+/// Returns 0 when truth == 0.
+[[nodiscard]] double relative_error(double estimate, double truth) noexcept;
+
+/// "Quality %" as plotted by the paper: 100 * estimate / truth.
+[[nodiscard]] double quality_percent(double estimate, double truth) noexcept;
+
+/// Mean absolute relative error over paired series (truncated to the shorter).
+[[nodiscard]] double mean_abs_relative_error(const std::vector<double>& estimates,
+                                             const std::vector<double>& truths);
+
+/// Pearson chi-square statistic of observed counts against a uniform
+/// expectation. Used for sampler-uniformity tests.
+[[nodiscard]] double chi_square_uniform(const std::vector<std::uint64_t>& counts);
+
+}  // namespace p2pse::support

@@ -1,0 +1,117 @@
+#include "p2pse/est/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "p2pse/est/sample_collide.hpp"
+#include "p2pse/net/builders.hpp"
+#include "p2pse/net/churn.hpp"
+
+namespace p2pse::est {
+namespace {
+
+sim::Simulator hetero_sim(std::size_t n, std::uint64_t seed) {
+  support::RngStream rng(seed);
+  return sim::Simulator(net::build_heterogeneous_random({n, 1, 10}, rng),
+                        seed ^ 0xabcdef);
+}
+
+SizeMonitor::EstimatorFn sample_collide_fn(std::uint32_t l) {
+  auto sc = std::make_shared<SampleCollide>(
+      SampleCollideConfig{.timer = 10.0, .collisions = l});
+  return [sc](sim::Simulator& sim, net::NodeId init, support::RngStream& rng) {
+    return sc->estimate_once(sim, init, rng);
+  };
+}
+
+TEST(SizeMonitor, RequiresEstimator) {
+  EXPECT_THROW(SizeMonitor({}, nullptr), std::invalid_argument);
+}
+
+TEST(SizeMonitor, PollProducesSamples) {
+  sim::Simulator sim = hetero_sim(2000, 1);
+  support::RngStream rng(2);
+  SizeMonitor monitor({.smoothing_window = 1}, sample_collide_fn(20));
+  const auto sample = monitor.poll(sim, rng);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_GT(sample->raw.value, 0.0);
+  EXPECT_DOUBLE_EQ(sample->smoothed, sample->raw.value);
+  EXPECT_EQ(monitor.polls(), 1u);
+  EXPECT_EQ(monitor.history().size(), 1u);
+  EXPECT_NE(monitor.initiator(), net::kInvalidNode);
+}
+
+TEST(SizeMonitor, SmoothingWindowAverages) {
+  sim::Simulator sim = hetero_sim(2000, 3);
+  support::RngStream rng(4);
+  SizeMonitor monitor({.smoothing_window = 5}, sample_collide_fn(20));
+  double last = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const auto s = monitor.poll(sim, rng);
+    ASSERT_TRUE(s.has_value());
+    last = s->smoothed;
+  }
+  EXPECT_NEAR(last, 2000.0, 700.0);
+  EXPECT_DOUBLE_EQ(monitor.current(), last);
+}
+
+TEST(SizeMonitor, ReElectsDeadInitiator) {
+  sim::Simulator sim = hetero_sim(500, 5);
+  support::RngStream rng(6);
+  SizeMonitor monitor({}, sample_collide_fn(10));
+  ASSERT_TRUE(monitor.poll(sim, rng).has_value());
+  const net::NodeId first = monitor.initiator();
+  sim.graph().remove_node(first);
+  ASSERT_TRUE(monitor.poll(sim, rng).has_value());
+  EXPECT_NE(monitor.initiator(), first);
+  EXPECT_TRUE(sim.graph().is_alive(monitor.initiator()));
+}
+
+TEST(SizeMonitor, EmptyOverlayFailsGracefully) {
+  sim::Simulator sim(net::Graph(0), 7);
+  support::RngStream rng(8);
+  SizeMonitor monitor({}, sample_collide_fn(10));
+  EXPECT_FALSE(monitor.poll(sim, rng).has_value());
+  EXPECT_EQ(monitor.failures(), 1u);
+}
+
+TEST(SizeMonitor, AlarmFiresOnCatastrophicDrop) {
+  sim::Simulator sim = hetero_sim(5000, 9);
+  support::RngStream rng(10);
+  SizeMonitor monitor({.smoothing_window = 1, .alarm_threshold = 0.3},
+                      sample_collide_fn(100));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(monitor.poll(sim, rng).has_value());
+  EXPECT_EQ(monitor.alarms(), 0u);
+  // Halve the overlay: the next estimate drops by ~50% > 30% threshold.
+  support::RngStream churn(11);
+  net::remove_fraction(sim.graph(), 0.5, churn);
+  const auto sample = monitor.poll(sim, rng);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_TRUE(sample->alarm);
+  EXPECT_EQ(monitor.alarms(), 1u);
+}
+
+TEST(SizeMonitor, AlarmsCanBeDisabled) {
+  sim::Simulator sim = hetero_sim(2000, 12);
+  support::RngStream rng(13);
+  SizeMonitor monitor({.smoothing_window = 1, .alarm_threshold = 0.0},
+                      sample_collide_fn(50));
+  ASSERT_TRUE(monitor.poll(sim, rng).has_value());
+  support::RngStream churn(14);
+  net::remove_fraction(sim.graph(), 0.7, churn);
+  const auto sample = monitor.poll(sim, rng);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_FALSE(sample->alarm);
+}
+
+TEST(SizeMonitor, HistoryIsBounded) {
+  sim::Simulator sim = hetero_sim(500, 15);
+  support::RngStream rng(16);
+  SizeMonitor monitor({.smoothing_window = 1, .history_limit = 5},
+                      sample_collide_fn(5));
+  for (int i = 0; i < 12; ++i) (void)monitor.poll(sim, rng);
+  EXPECT_EQ(monitor.history().size(), 5u);
+  EXPECT_EQ(monitor.polls(), 12u);
+}
+
+}  // namespace
+}  // namespace p2pse::est

@@ -1,0 +1,69 @@
+#include "p2pse/est/smoothing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2pse::est {
+namespace {
+
+TEST(LastKAverage, RejectsZeroWindow) {
+  EXPECT_THROW(LastKAverage(0), std::invalid_argument);
+}
+
+TEST(LastKAverage, PartialWindowAveragesWhatItHas) {
+  LastKAverage avg(10);
+  EXPECT_DOUBLE_EQ(avg.add(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(avg.add(20.0), 15.0);
+  EXPECT_DOUBLE_EQ(avg.add(30.0), 20.0);
+  EXPECT_FALSE(avg.full());
+  EXPECT_EQ(avg.count(), 3u);
+}
+
+TEST(LastKAverage, SlidesWindow) {
+  LastKAverage avg(3);
+  avg.add(1.0);
+  avg.add(2.0);
+  avg.add(3.0);
+  EXPECT_TRUE(avg.full());
+  EXPECT_DOUBLE_EQ(avg.mean(), 2.0);
+  avg.add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(avg.mean(), 5.0);
+  avg.add(10.0);  // evicts 2.0
+  EXPECT_DOUBLE_EQ(avg.mean(), (3.0 + 10.0 + 10.0) / 3.0);
+}
+
+TEST(LastKAverage, WindowOfOneIsIdentity) {
+  LastKAverage avg(1);
+  EXPECT_DOUBLE_EQ(avg.add(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(avg.add(9.0), 9.0);
+  EXPECT_TRUE(avg.full());
+}
+
+TEST(LastKAverage, EmptyMeanIsZero) {
+  const LastKAverage avg(4);
+  EXPECT_DOUBLE_EQ(avg.mean(), 0.0);
+  EXPECT_EQ(avg.count(), 0u);
+}
+
+TEST(LastKAverage, ResetClears) {
+  LastKAverage avg(3);
+  avg.add(7.0);
+  avg.add(8.0);
+  avg.reset();
+  EXPECT_EQ(avg.count(), 0u);
+  EXPECT_DOUBLE_EQ(avg.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(avg.add(2.0), 2.0);
+}
+
+TEST(LastKAverage, LongStreamStaysNumericallySane) {
+  LastKAverage avg(10);
+  for (int i = 0; i < 100000; ++i) avg.add(100000.0);
+  EXPECT_NEAR(avg.mean(), 100000.0, 1e-6);
+}
+
+TEST(LastKAverage, WindowReportsConfiguredSize) {
+  const LastKAverage avg(7);
+  EXPECT_EQ(avg.window(), 7u);
+}
+
+}  // namespace
+}  // namespace p2pse::est

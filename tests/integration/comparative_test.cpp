@@ -1,0 +1,212 @@
+// End-to-end comparative checks: the paper's qualitative findings must hold
+// in this implementation at reduced scale.
+#include <gtest/gtest.h>
+
+#include "p2pse/est/aggregation.hpp"
+#include "p2pse/est/hops_sampling.hpp"
+#include "p2pse/est/sample_collide.hpp"
+#include "p2pse/est/smoothing.hpp"
+#include "p2pse/net/analysis.hpp"
+#include "p2pse/net/builders.hpp"
+#include "p2pse/scenario/runner.hpp"
+#include "p2pse/scenario/scenarios.hpp"
+#include "p2pse/support/stats.hpp"
+
+namespace p2pse {
+namespace {
+
+constexpr std::size_t kNodes = 50000;
+constexpr std::uint64_t kSeed = 2006;  // HPDC'06
+
+sim::Simulator make_sim() {
+  support::RngStream rng(kSeed);
+  return sim::Simulator(net::build_heterogeneous_random({kNodes, 1, 10}, rng),
+                        kSeed);
+}
+
+struct AlgoStats {
+  double mean_abs_err = 0.0;   // percent
+  double mean_signed_err = 0.0;
+  double mean_msgs = 0.0;
+};
+
+AlgoStats measure(const scenario::PointEstimator& estimator, int runs,
+                  std::uint64_t salt) {
+  sim::Simulator sim = make_sim();
+  support::RngStream rng(kSeed ^ salt);
+  support::RngStream pick(kSeed ^ (salt + 1));
+  const net::NodeId initiator = sim.graph().random_alive(pick);
+  support::RunningStats abs_err, signed_err, msgs;
+  for (int i = 0; i < runs; ++i) {
+    const est::Estimate e = estimator(sim, initiator, rng);
+    if (!e.valid) continue;
+    const double q =
+        support::quality_percent(e.value, static_cast<double>(kNodes)) - 100.0;
+    abs_err.add(std::abs(q));
+    signed_err.add(q);
+    msgs.add(static_cast<double>(e.messages));
+  }
+  return {abs_err.mean(), signed_err.mean(), msgs.mean()};
+}
+
+TEST(Comparative, TableOneOverheadOrdering) {
+  // Table I at 1e5: Agg 10M > S&C-l200-last10 5M > HS-last10 2.5M >
+  // S&C-oneShot 0.5M. Aggregation costs Theta(N) per estimation while
+  // Sample&Collide costs Theta(sqrt(N)), so the ordering needs a large
+  // enough overlay; 5e4 comfortably preserves it.
+  const est::SampleCollide sc({.timer = 10.0, .collisions = 200});
+  const AlgoStats sc_stats = measure(
+      [&sc](sim::Simulator& s, net::NodeId i, support::RngStream& r) {
+        return sc.estimate_once(s, i, r);
+      },
+      5, 11);
+
+  const est::HopsSampling hs({});
+  const AlgoStats hs_stats = measure(
+      [&hs](sim::Simulator& s, net::NodeId i, support::RngStream& r) {
+        return hs.run_once(s, i, r).estimate;
+      },
+      5, 22);
+
+  sim::Simulator agg_sim = make_sim();
+  est::Aggregation agg({.rounds_per_epoch = 50});
+  support::RngStream agg_rng(kSeed ^ 33);
+  const est::Estimate agg_est = agg.run_epoch(agg_sim, 0, agg_rng);
+
+  const double sc_one_shot = sc_stats.mean_msgs;
+  const double sc_last10 = sc_stats.mean_msgs * 10.0;
+  const double hs_last10 = hs_stats.mean_msgs * 10.0;
+  const double agg_cost = static_cast<double>(agg_est.messages);
+
+  EXPECT_GT(agg_cost, sc_last10);
+  EXPECT_GT(sc_last10, hs_last10);
+  EXPECT_GT(hs_last10, sc_one_shot);
+}
+
+TEST(Comparative, AccuracyOrderingMatchesPaper) {
+  // Aggregation ~exact; Sample&Collide oneShot ~10%; HopsSampling worst and
+  // biased low.
+  const est::SampleCollide sc({.timer = 10.0, .collisions = 200});
+  const AlgoStats sc_stats = measure(
+      [&sc](sim::Simulator& s, net::NodeId i, support::RngStream& r) {
+        return sc.estimate_once(s, i, r);
+      },
+      8, 44);
+
+  const est::HopsSampling hs({});
+  const AlgoStats hs_stats = measure(
+      [&hs](sim::Simulator& s, net::NodeId i, support::RngStream& r) {
+        return hs.run_once(s, i, r).estimate;
+      },
+      8, 55);
+
+  sim::Simulator agg_sim = make_sim();
+  est::Aggregation agg({.rounds_per_epoch = 50});
+  support::RngStream agg_rng(kSeed ^ 66);
+  const est::Estimate agg_est = agg.run_epoch(agg_sim, 0, agg_rng);
+  const double agg_err = std::abs(
+      support::quality_percent(agg_est.value, static_cast<double>(kNodes)) -
+      100.0);
+
+  EXPECT_LT(agg_err, 2.0);                       // paper: -1%
+  EXPECT_LT(sc_stats.mean_abs_err, 15.0);        // paper: +/-10%
+  EXPECT_LT(agg_err, sc_stats.mean_abs_err);
+  EXPECT_LT(sc_stats.mean_abs_err, hs_stats.mean_abs_err);
+  EXPECT_LT(hs_stats.mean_signed_err, 0.0);      // under-estimation
+}
+
+TEST(Comparative, ScReactsFasterThanSmoothedHsAfterCatastrophe) {
+  // §IV-D: S&C oneShot has no memory; HS last10runs needs convergence time
+  // after a brutal change. Right after a -25% drop the smoothed HS estimate
+  // must lag (over-estimate) more than S&C.
+  const auto factory = [](support::RngStream& rng) {
+    return net::build_heterogeneous_random({kNodes, 1, 10}, rng);
+  };
+  const scenario::ScenarioRunner runner(scenario::catastrophic_script(kNodes),
+                                        factory, kSeed);
+
+  const est::SampleCollide sc({.timer = 10.0, .collisions = 100});
+  const scenario::Series sc_series = runner.run_point(
+      50,
+      [&sc](sim::Simulator& s, net::NodeId i, support::RngStream& r) {
+        return sc.estimate_once(s, i, r);
+      },
+      0);
+
+  const est::HopsSampling hs({});
+  auto smoother = std::make_shared<est::LastKAverage>(10);
+  const scenario::Series hs_series = runner.run_point(
+      50,
+      [&hs, smoother](sim::Simulator& s, net::NodeId i, support::RngStream& r) {
+        est::Estimate e = hs.run_once(s, i, r).estimate;
+        if (e.valid) e.value = smoother->add(e.value);
+        return e;
+      },
+      0);
+
+  // The -25% drop happens at t=100: series index 4 is the last pre-drop
+  // estimation (t=100 applies the event before that tick's estimate, so use
+  // index 3 at t=80 as "before" and index 4 at t=100 as "after"). Compare
+  // each algorithm's lag against its own pre-drop bias so HS's systematic
+  // under-estimation doesn't mask the smoothing lag.
+  const auto lag = [](const scenario::Series& s) {
+    const double before = s[3].estimate / s[3].truth;
+    const double after = s[4].estimate / s[4].truth;
+    return after / before;
+  };
+  const double sc_lag = lag(sc_series);
+  const double hs_lag = lag(hs_series);
+  EXPECT_LT(sc_lag, 1.22);  // memoryless: tracks the new size immediately
+  EXPECT_GT(hs_lag, 1.10);  // smoothed window still holds pre-drop values
+  EXPECT_GT(hs_lag, sc_lag);
+}
+
+TEST(Comparative, AggregationFailsUnderHeavyDeparturesButTracksGrowth) {
+  // §IV-D-k: Aggregation copes with growth but degrades once departures
+  // disconnect the overlay.
+  const auto factory = [](support::RngStream& rng) {
+    return net::build_heterogeneous_random({5000, 1, 10}, rng);
+  };
+  const est::AggregationConfig config{.rounds_per_epoch = 50};
+
+  const scenario::ScenarioRunner growing(scenario::growing_script(5000),
+                                         factory, kSeed);
+  const scenario::Series grow_series = growing.run_aggregation(config, 1.0, 0);
+  ASSERT_FALSE(grow_series.empty());
+  support::RunningStats grow_err;
+  for (const auto& p : grow_series) {
+    if (p.valid) grow_err.add(std::abs(p.estimate - p.truth) / p.truth);
+  }
+  EXPECT_LT(grow_err.mean(), 0.12);
+
+  const scenario::ScenarioRunner shrinking(scenario::shrinking_script(5000),
+                                           factory, kSeed);
+  const scenario::Series shrink_series =
+      shrinking.run_aggregation(config, 1.0, 0);
+  ASSERT_FALSE(shrink_series.empty());
+  // Late epochs (>=30% departed) show larger error than early epochs.
+  support::RunningStats early_err, late_err;
+  for (const auto& p : shrink_series) {
+    const double err = p.valid
+                           ? std::abs(p.estimate - p.truth) / p.truth
+                           : 1.0;  // an invalid estimate is a full miss
+    (p.time <= 300.0 ? early_err : late_err).add(err);
+  }
+  EXPECT_GT(late_err.mean(), early_err.mean());
+}
+
+TEST(Comparative, ConnectivityLossExplainsAggregationFailure) {
+  // The paper attributes the failure to overlay disconnection: verify the
+  // overlay actually fragments under 50% no-healing departures.
+  support::RngStream rng(kSeed);
+  net::Graph g = net::build_heterogeneous_random({10000, 1, 10}, rng);
+  const double before = net::largest_component_fraction(g);
+  EXPECT_GT(before, 0.99);
+  support::RngStream churn_rng(kSeed ^ 1);
+  net::remove_fraction(g, 0.5, churn_rng);
+  const net::ComponentInfo info = net::connected_components(g);
+  EXPECT_GT(info.count(), 10u);  // fragmented into many components
+}
+
+}  // namespace
+}  // namespace p2pse

@@ -1,0 +1,121 @@
+#include "p2pse/net/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "p2pse/net/builders.hpp"
+
+namespace p2pse::net {
+namespace {
+
+bool graphs_equal(const Graph& a, const Graph& b) {
+  if (a.slot_count() != b.slot_count() || a.size() != b.size() ||
+      a.edge_count() != b.edge_count()) {
+    return false;
+  }
+  for (NodeId id = 0; id < a.slot_count(); ++id) {
+    if (a.is_alive(id) != b.is_alive(id)) return false;
+    if (a.degree(id) != b.degree(id)) return false;
+    for (const NodeId nb : a.neighbors(id)) {
+      if (!b.has_edge(id, nb)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(GraphIo, RoundTripSimpleGraph) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  std::stringstream buffer;
+  save_graph(buffer, g);
+  const Graph loaded = load_graph(buffer);
+  EXPECT_TRUE(graphs_equal(g, loaded));
+}
+
+TEST(GraphIo, RoundTripPreservesDeadSlots) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.remove_node(4);
+  g.remove_node(1);
+  std::stringstream buffer;
+  save_graph(buffer, g);
+  const Graph loaded = load_graph(buffer);
+  EXPECT_TRUE(graphs_equal(g, loaded));
+  EXPECT_FALSE(loaded.is_alive(1));
+  EXPECT_FALSE(loaded.is_alive(4));
+  EXPECT_EQ(loaded.edge_count(), 1u);
+}
+
+TEST(GraphIo, RoundTripBuilderOutput) {
+  support::RngStream rng(7);
+  const Graph g = build_heterogeneous_random({2000, 1, 10}, rng);
+  std::stringstream buffer;
+  save_graph(buffer, g);
+  const Graph loaded = load_graph(buffer);
+  EXPECT_TRUE(graphs_equal(g, loaded));
+}
+
+TEST(GraphIo, EmptyGraphRoundTrip) {
+  Graph g;
+  std::stringstream buffer;
+  save_graph(buffer, g);
+  const Graph loaded = load_graph(buffer);
+  EXPECT_EQ(loaded.slot_count(), 0u);
+}
+
+TEST(GraphIo, IgnoresCommentsAndBlankLines) {
+  std::stringstream in(
+      "p2pse-graph 1\n# a comment\nnodes 3\n\nedge 0 2\n# trailing\n");
+  const Graph g = load_graph(in);
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, RejectsMissingHeader) {
+  std::stringstream in("nodes 3\n");
+  EXPECT_THROW((void)load_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsEdgeBeforeNodes) {
+  std::stringstream in("p2pse-graph 1\nedge 0 1\n");
+  EXPECT_THROW((void)load_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsOutOfRangeIds) {
+  std::stringstream in("p2pse-graph 1\nnodes 2\nedge 0 5\n");
+  EXPECT_THROW((void)load_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsDuplicateEdges) {
+  std::stringstream in("p2pse-graph 1\nnodes 3\nedge 0 1\nedge 1 0\n");
+  EXPECT_THROW((void)load_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsUnknownKeyword) {
+  std::stringstream in("p2pse-graph 1\nnodes 2\nwhatever 1\n");
+  EXPECT_THROW((void)load_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  support::RngStream rng(9);
+  const Graph g = build_heterogeneous_random({500, 1, 10}, rng);
+  const std::string path = ::testing::TempDir() + "/p2pse_graph_io_test.txt";
+  save_graph_file(path, g);
+  const Graph loaded = load_graph_file(path);
+  EXPECT_TRUE(graphs_equal(g, loaded));
+}
+
+TEST(GraphIo, FileOpenFailureThrows) {
+  EXPECT_THROW((void)load_graph_file("/nonexistent/dir/graph.txt"),
+               std::runtime_error);
+  Graph g(1);
+  EXPECT_THROW(save_graph_file("/nonexistent/dir/graph.txt", g),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace p2pse::net

@@ -1,0 +1,102 @@
+#include "p2pse/net/random_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "p2pse/net/builders.hpp"
+#include "p2pse/support/stats.hpp"
+
+namespace p2pse::net {
+namespace {
+
+sim::Simulator hetero_sim(std::size_t n, std::uint64_t seed) {
+  support::RngStream rng(seed);
+  return sim::Simulator(build_heterogeneous_random({n, 1, 10}, rng),
+                        seed ^ 0xabcdef);
+}
+
+Graph star(std::size_t leaves) {
+  Graph g(leaves + 1);
+  for (NodeId i = 1; i <= leaves; ++i) g.add_edge(0, i);
+  return g;
+}
+
+TEST(SimpleWalk, StepMovesToNeighborAndCountsMessage) {
+  sim::Simulator sim = hetero_sim(100, 1);
+  support::RngStream rng(2);
+  const std::uint64_t before = sim.meter().total();
+  const NodeId next = simple_walk_step(sim, 0, rng);
+  EXPECT_TRUE(sim.graph().has_edge(0, next));
+  EXPECT_EQ(sim.meter().since(before), 1u);
+}
+
+TEST(SimpleWalk, StuckOnIsolatedNode) {
+  Graph g(2);
+  sim::Simulator sim(std::move(g), 3);
+  support::RngStream rng(4);
+  EXPECT_EQ(simple_walk_step(sim, 0, rng), kInvalidNode);
+  EXPECT_EQ(sim.meter().total(), 0u);
+  EXPECT_EQ(simple_walk(sim, 0, 100, rng), 0u);  // stays put
+}
+
+TEST(SimpleWalk, EndpointDistributionIsDegreeBiased) {
+  // On a star, the simple walk alternates hub/leaf: after an even number of
+  // steps from the hub it is back at the hub — maximal degree bias.
+  sim::Simulator sim(star(10), 5);
+  support::RngStream rng(6);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(simple_walk(sim, 0, 10, rng), 0u);
+  }
+}
+
+TEST(MetropolisHastings, StepIsLazyButValid) {
+  sim::Simulator sim = hetero_sim(500, 7);
+  support::RngStream rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId from = sim.graph().random_alive(rng);
+    const NodeId to = metropolis_hastings_step(sim, from, rng);
+    if (sim.graph().degree(from) == 0) {
+      EXPECT_EQ(to, kInvalidNode);
+    } else {
+      EXPECT_TRUE(to == from || sim.graph().has_edge(from, to));
+    }
+  }
+}
+
+TEST(MetropolisHastings, EndpointDistributionIsNearUniform) {
+  // The MH walk corrects the degree bias: on the star graph the hub must NOT
+  // dominate. Stationary distribution is uniform over all 11 nodes.
+  sim::Simulator sim(star(10), 9);
+  support::RngStream rng(10);
+  std::vector<std::uint64_t> counts(11, 0);
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[metropolis_hastings_walk(sim, 0, 40, rng)];
+  }
+  // Hub frequency should be ~1/11, far from the simple walk's ~1.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kSamples, 1.0 / 11.0, 0.03);
+  const double chi2 = support::chi_square_uniform(counts);
+  EXPECT_LT(chi2 / 10.0, 3.0);
+}
+
+TEST(MetropolisHastings, UniformOnHeterogeneousGraph) {
+  sim::Simulator sim = hetero_sim(200, 11);
+  support::RngStream rng(12);
+  std::vector<std::uint64_t> counts(sim.graph().slot_count(), 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[metropolis_hastings_walk(sim, 0, 120, rng)];
+  }
+  const double df = static_cast<double>(sim.graph().size() - 1);
+  EXPECT_LT(support::chi_square_uniform(counts) / df, 1.4);
+}
+
+TEST(MetropolisHastings, RejectionsStillCostMessages) {
+  sim::Simulator sim(star(10), 13);
+  support::RngStream rng(14);
+  const std::uint64_t before = sim.meter().total();
+  (void)metropolis_hastings_walk(sim, 1, 50, rng);  // from a leaf
+  EXPECT_EQ(sim.meter().since(before), 50u);  // every proposal is a probe
+}
+
+}  // namespace
+}  // namespace p2pse::net

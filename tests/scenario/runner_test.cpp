@@ -1,0 +1,149 @@
+#include "p2pse/scenario/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "p2pse/est/sample_collide.hpp"
+#include "p2pse/net/builders.hpp"
+#include "p2pse/scenario/scenarios.hpp"
+
+namespace p2pse::scenario {
+namespace {
+
+GraphFactory factory(std::size_t nodes) {
+  return [nodes](support::RngStream& rng) {
+    return net::build_heterogeneous_random({nodes, 1, 10}, rng);
+  };
+}
+
+PointEstimator sample_collide_estimator(std::uint32_t l) {
+  auto sc = std::make_shared<est::SampleCollide>(
+      est::SampleCollideConfig{.timer = 10.0, .collisions = l});
+  return [sc](sim::Simulator& sim, net::NodeId init, support::RngStream& rng) {
+    return sc->estimate_once(sim, init, rng);
+  };
+}
+
+TEST(ScenarioRunner, RequiresFactory) {
+  EXPECT_THROW(ScenarioRunner(static_script(), nullptr, 1),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRunner, ProducesRequestedNumberOfPoints) {
+  const ScenarioRunner runner(static_script(), factory(2000), 1);
+  const Series series = runner.run_point(20, sample_collide_estimator(10));
+  ASSERT_EQ(series.size(), 20u);
+  for (const auto& p : series) {
+    EXPECT_DOUBLE_EQ(p.truth, 2000.0);
+    EXPECT_TRUE(p.valid);
+    EXPECT_GT(p.messages, 0u);
+  }
+}
+
+TEST(ScenarioRunner, ZeroEstimationsGivesEmptySeries) {
+  const ScenarioRunner runner(static_script(), factory(100), 2);
+  EXPECT_TRUE(runner.run_point(0, sample_collide_estimator(5)).empty());
+}
+
+TEST(ScenarioRunner, TimesAreEvenlySpaced) {
+  const ScenarioRunner runner(static_script(), factory(500), 3);
+  const Series series = runner.run_point(10, sample_collide_estimator(5));
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(series[i].time,
+                     100.0 * static_cast<double>(i + 1));
+  }
+}
+
+TEST(ScenarioRunner, TruthTracksShrinkingScenario) {
+  const ScenarioRunner runner(shrinking_script(2000), factory(2000), 4);
+  const Series series = runner.run_point(10, sample_collide_estimator(10));
+  ASSERT_EQ(series.size(), 10u);
+  EXPECT_NEAR(series.front().truth, 1900.0, 3.0);
+  EXPECT_NEAR(series.back().truth, 1000.0, 3.0);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LT(series[i].truth, series[i - 1].truth);
+  }
+}
+
+TEST(ScenarioRunner, SameReplicaIsDeterministic) {
+  const ScenarioRunner runner(growing_script(1000), factory(1000), 5);
+  const Series a = runner.run_point(8, sample_collide_estimator(10), 2);
+  const Series b = runner.run_point(8, sample_collide_estimator(10), 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].estimate, b[i].estimate);
+    EXPECT_DOUBLE_EQ(a[i].truth, b[i].truth);
+    EXPECT_EQ(a[i].messages, b[i].messages);
+  }
+}
+
+TEST(ScenarioRunner, DifferentReplicasDiffer) {
+  const ScenarioRunner runner(static_script(), factory(1000), 6);
+  const Series a = runner.run_point(5, sample_collide_estimator(10), 0);
+  const Series b = runner.run_point(5, sample_collide_estimator(10), 1);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= (a[i].estimate != b[i].estimate);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ScenarioRunner, CollectReplicasPreservesOrderAndDeterminism) {
+  const ScenarioRunner runner(static_script(), factory(500), 7);
+  const auto runs = ScenarioRunner::collect_replicas(4, [&](std::uint64_t r) {
+    return runner.run_point(3, sample_collide_estimator(5), r);
+  });
+  ASSERT_EQ(runs.size(), 4u);
+  // Replica 2 recomputed sequentially must match the parallel result.
+  const Series replay = runner.run_point(3, sample_collide_estimator(5), 2);
+  ASSERT_EQ(runs[2].size(), replay.size());
+  for (std::size_t i = 0; i < replay.size(); ++i) {
+    EXPECT_DOUBLE_EQ(runs[2][i].estimate, replay[i].estimate);
+  }
+}
+
+TEST(ScenarioRunner, AggregationSeriesOnePointPerEpoch) {
+  const ScenarioRunner runner(static_script(), factory(1000), 8);
+  // 1 round per unit, epoch = 50 rounds, duration 1000 -> 20 epochs.
+  const Series series =
+      runner.run_aggregation({.rounds_per_epoch = 50}, 1.0, 0);
+  ASSERT_EQ(series.size(), 20u);
+  for (const auto& p : series) {
+    EXPECT_TRUE(p.valid);
+    EXPECT_NEAR(p.estimate, 1000.0, 50.0);
+    // Overhead per epoch ~ 2 * N * rounds.
+    EXPECT_NEAR(static_cast<double>(p.messages), 2.0 * 1000.0 * 50.0,
+                0.05 * 2.0 * 1000.0 * 50.0);
+  }
+}
+
+TEST(ScenarioRunner, AggregationRejectsNonPositiveRate) {
+  const ScenarioRunner runner(static_script(), factory(100), 9);
+  EXPECT_THROW((void)runner.run_aggregation({.rounds_per_epoch = 10}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRunner, AggregationTracksGrowth) {
+  const ScenarioRunner runner(growing_script(1000), factory(1000), 10);
+  const Series series =
+      runner.run_aggregation({.rounds_per_epoch = 50}, 1.0, 0);
+  ASSERT_FALSE(series.empty());
+  // Later epochs must see a larger network than early epochs.
+  EXPECT_GT(series.back().estimate, series.front().estimate * 1.2);
+  EXPECT_NEAR(series.back().estimate, series.back().truth,
+              0.15 * series.back().truth);
+}
+
+TEST(ScenarioRunner, SurvivesExtinctionScenario) {
+  // Drive departures so hard the overlay dies: the runner must not crash and
+  // must stop emitting points once the graph is empty.
+  ScenarioScript script = static_script();
+  script.initial_departure_rate = 10.0;  // kills 1000 nodes well before t=1000
+  const ScenarioRunner runner(script, factory(1000), 11);
+  const Series series = runner.run_point(20, sample_collide_estimator(5));
+  ASSERT_EQ(series.size(), 20u);
+  EXPECT_DOUBLE_EQ(series.back().truth, 0.0);
+  EXPECT_FALSE(series.back().valid);
+}
+
+}  // namespace
+}  // namespace p2pse::scenario

@@ -1,0 +1,93 @@
+#include "p2pse/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace p2pse::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunNextReturnsEventTime) {
+  EventQueue q;
+  q.schedule(4.5, [] {});
+  EXPECT_DOUBLE_EQ(q.run_next(), 4.5);
+}
+
+TEST(EventQueue, NextTimePeeks) {
+  EventQueue q;
+  q.schedule(9.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(EventQueue, RunUntilIsInclusive) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  q.schedule(2.0000001, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(2.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule(1.0, [&] {
+    fired.push_back(1.0);
+    q.schedule(2.0, [&] { fired.push_back(2.0); });
+  });
+  EXPECT_EQ(q.run_until(10.0), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventQueue, SelfRescheduleWithinRunUntilHonorsBound) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    q.schedule(static_cast<double>(count), tick);
+  };
+  q.schedule(0.0, tick);
+  q.run_until(5.0);
+  EXPECT_EQ(count, 6);  // t = 0,1,2,3,4,5
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ClearDropsPending) {
+  EventQueue q;
+  q.schedule(1.0, [] { FAIL() << "must not fire"; });
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace p2pse::sim

@@ -1,0 +1,52 @@
+#include "p2pse/sim/message_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2pse::sim {
+namespace {
+
+TEST(MessageMeter, StartsZeroed) {
+  MessageMeter m;
+  EXPECT_EQ(m.total(), 0u);
+  EXPECT_EQ(m.of(MessageClass::kWalkStep), 0u);
+}
+
+TEST(MessageMeter, CountsPerClass) {
+  MessageMeter m;
+  m.count(MessageClass::kWalkStep);
+  m.count(MessageClass::kWalkStep, 4);
+  m.count(MessageClass::kPollReply);
+  EXPECT_EQ(m.of(MessageClass::kWalkStep), 5u);
+  EXPECT_EQ(m.of(MessageClass::kPollReply), 1u);
+  EXPECT_EQ(m.of(MessageClass::kGossipSpread), 0u);
+  EXPECT_EQ(m.total(), 6u);
+}
+
+TEST(MessageMeter, SinceBaseline) {
+  MessageMeter m;
+  m.count(MessageClass::kGossipSpread, 10);
+  const std::uint64_t baseline = m.total();
+  m.count(MessageClass::kPollReply, 3);
+  EXPECT_EQ(m.since(baseline), 3u);
+}
+
+TEST(MessageMeter, ResetClearsEverything) {
+  MessageMeter m;
+  m.count(MessageClass::kAggregationPush, 7);
+  m.count(MessageClass::kAggregationPull, 7);
+  m.reset();
+  EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(MessageMeter, ClassNames) {
+  EXPECT_EQ(to_string(MessageClass::kWalkStep), "walk_step");
+  EXPECT_EQ(to_string(MessageClass::kSampleReply), "sample_reply");
+  EXPECT_EQ(to_string(MessageClass::kGossipSpread), "gossip_spread");
+  EXPECT_EQ(to_string(MessageClass::kPollReply), "poll_reply");
+  EXPECT_EQ(to_string(MessageClass::kAggregationPush), "aggregation_push");
+  EXPECT_EQ(to_string(MessageClass::kAggregationPull), "aggregation_pull");
+  EXPECT_EQ(to_string(MessageClass::kControl), "control");
+}
+
+}  // namespace
+}  // namespace p2pse::sim

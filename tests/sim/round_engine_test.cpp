@@ -1,0 +1,77 @@
+#include "p2pse/sim/round_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace p2pse::sim {
+namespace {
+
+TEST(RoundEngine, RunsRequestedRounds) {
+  Simulator sim(net::Graph(2), 1);
+  RoundEngine engine(sim);
+  int bodies = 0;
+  engine.run(5, [&](std::uint64_t) { ++bodies; });
+  EXPECT_EQ(bodies, 5);
+  EXPECT_EQ(engine.rounds_completed(), 5u);
+}
+
+TEST(RoundEngine, AdvancesClockPerRound) {
+  Simulator sim(net::Graph(2), 1);
+  RoundEngine engine(sim, 2.0);
+  engine.run(3, [](std::uint64_t) {});
+  EXPECT_DOUBLE_EQ(sim.now(), 6.0);
+}
+
+TEST(RoundEngine, PassesRoundIndices) {
+  Simulator sim(net::Graph(2), 1);
+  RoundEngine engine(sim);
+  std::vector<std::uint64_t> indices;
+  engine.run(3, [&](std::uint64_t r) { indices.push_back(r); });
+  engine.run(2, [&](std::uint64_t r) { indices.push_back(r); });
+  EXPECT_EQ(indices, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RoundEngine, PreRoundHookInterleaves) {
+  Simulator sim(net::Graph(2), 1);
+  RoundEngine engine(sim);
+  std::vector<std::string> trace;
+  engine.set_pre_round_hook([&](std::uint64_t r) {
+    trace.push_back("pre" + std::to_string(r));
+  });
+  engine.run(2, [&](std::uint64_t r) {
+    trace.push_back("body" + std::to_string(r));
+  });
+  EXPECT_EQ(trace,
+            (std::vector<std::string>{"pre0", "body0", "pre1", "body1"}));
+}
+
+TEST(RoundEngine, RunWhileStopsOnPredicate) {
+  Simulator sim(net::Graph(2), 1);
+  RoundEngine engine(sim);
+  int bodies = 0;
+  engine.run_while(
+      100, [&](std::uint64_t r) { return r < 7; },
+      [&](std::uint64_t) { ++bodies; });
+  EXPECT_EQ(bodies, 7);
+}
+
+TEST(RoundEngine, RunWhileRespectsMaxRounds) {
+  Simulator sim(net::Graph(2), 1);
+  RoundEngine engine(sim);
+  int bodies = 0;
+  engine.run_while(
+      4, [](std::uint64_t) { return true; }, [&](std::uint64_t) { ++bodies; });
+  EXPECT_EQ(bodies, 4);
+}
+
+TEST(RoundEngine, ZeroRoundsIsNoop) {
+  Simulator sim(net::Graph(2), 1);
+  RoundEngine engine(sim);
+  engine.run(0, [](std::uint64_t) { FAIL() << "must not run"; });
+  EXPECT_EQ(engine.rounds_completed(), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace p2pse::sim

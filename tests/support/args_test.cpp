@@ -1,0 +1,98 @@
+#include "p2pse/support/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p2pse::support {
+namespace {
+
+Args make_args(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, ParsesNameValuePairs) {
+  const Args args = make_args({"prog", "--nodes", "1000", "--seed", "7"});
+  EXPECT_EQ(args.get_int("nodes", 0), 1000);
+  EXPECT_EQ(args.get_int("seed", 0), 7);
+}
+
+TEST(Args, ParsesEqualsSyntax) {
+  const Args args = make_args({"prog", "--nodes=500"});
+  EXPECT_EQ(args.get_int("nodes", 0), 500);
+}
+
+TEST(Args, BooleanFlagWithoutValue) {
+  const Args args = make_args({"prog", "--verbose", "--nodes", "10"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("nodes", 0), 10);
+}
+
+TEST(Args, TrailingFlagIsBoolean) {
+  const Args args = make_args({"prog", "--fast"});
+  EXPECT_TRUE(args.get_bool("fast", false));
+  EXPECT_TRUE(args.has("fast"));
+}
+
+TEST(Args, DefaultsWhenMissing) {
+  const Args args = make_args({"prog"});
+  EXPECT_EQ(args.get_int("nodes", 123), 123);
+  EXPECT_EQ(args.get_string("name", "dflt"), "dflt");
+  EXPECT_EQ(args.get_double("rate", 2.5), 2.5);
+  EXPECT_FALSE(args.get_bool("flag", false));
+  EXPECT_FALSE(args.has("nodes"));
+}
+
+TEST(Args, HelpDetection) {
+  EXPECT_TRUE(make_args({"prog", "--help"}).help_requested());
+  EXPECT_TRUE(make_args({"prog", "-h"}).help_requested());
+  EXPECT_FALSE(make_args({"prog"}).help_requested());
+}
+
+TEST(Args, PositionalArguments) {
+  const Args args = make_args({"prog", "input.txt", "--n", "3", "more"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "more");
+}
+
+TEST(Args, MalformedIntegerThrows) {
+  const Args args = make_args({"prog", "--nodes", "12x"});
+  EXPECT_THROW((void)args.get_int("nodes", 0), std::invalid_argument);
+}
+
+TEST(Args, NegativeUintThrows) {
+  const Args args = make_args({"prog", "--nodes=-5"});
+  EXPECT_THROW((void)args.get_uint("nodes", 0), std::invalid_argument);
+}
+
+TEST(Args, DoubleParsing) {
+  const Args args = make_args({"prog", "--rate", "2.75"});
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 2.75);
+}
+
+TEST(Args, MalformedDoubleThrows) {
+  const Args args = make_args({"prog", "--rate", "fast"});
+  EXPECT_THROW((void)args.get_double("rate", 0.0), std::invalid_argument);
+}
+
+TEST(Args, BooleanSpellings) {
+  EXPECT_TRUE(make_args({"p", "--f=yes"}).get_bool("f", false));
+  EXPECT_TRUE(make_args({"p", "--f=1"}).get_bool("f", false));
+  EXPECT_FALSE(make_args({"p", "--f=off"}).get_bool("f", true));
+  EXPECT_FALSE(make_args({"p", "--f=0"}).get_bool("f", true));
+  EXPECT_THROW((void)make_args({"p", "--f=maybe"}).get_bool("f", false),
+               std::invalid_argument);
+}
+
+TEST(Args, ProgramName) {
+  EXPECT_EQ(make_args({"myprog"}).program(), "myprog");
+}
+
+TEST(Args, NegativeNumberAsValue) {
+  // "-5" must not be mistaken for an option.
+  const Args args = make_args({"prog", "--offset", "-5"});
+  EXPECT_EQ(args.get_int("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace p2pse::support

@@ -1,0 +1,109 @@
+#include "p2pse/support/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace p2pse::support {
+namespace {
+
+std::size_t count_char(const std::string& s, char c) {
+  std::size_t n = 0;
+  for (const char x : s) n += (x == c);
+  return n;
+}
+
+TEST(AsciiPlot, EmptySeriesProducesPlaceholder) {
+  PlotOptions opts;
+  const std::string out = render_plot({}, opts);
+  EXPECT_NE(out.find("no plottable data"), std::string::npos);
+}
+
+TEST(AsciiPlot, RendersAllFinitePoints) {
+  Series s{"data", {0, 1, 2, 3}, {0, 1, 2, 3}, '*'};
+  PlotOptions opts;
+  const std::string out = render_plot({s}, opts);
+  EXPECT_GE(count_char(out, '*'), 3u);  // collisions on the grid allowed
+  EXPECT_NE(out.find("legend:"), std::string::npos);
+  EXPECT_NE(out.find("'*' data"), std::string::npos);
+}
+
+TEST(AsciiPlot, SkipsNonFinitePoints) {
+  // Glyph '#' cannot appear in labels/ticks, so counting is unambiguous.
+  Series s{"data",
+           {0, 1, 2},
+           {std::numeric_limits<double>::quiet_NaN(), 1.0,
+            std::numeric_limits<double>::infinity()},
+           '#'};
+  PlotOptions opts;
+  const std::string out = render_plot({s}, opts);
+  EXPECT_EQ(count_char(out, '#'), 2u);  // one point + legend glyph
+}
+
+TEST(AsciiPlot, LogAxisSkipsNonPositive) {
+  Series s{"data", {0.0, 1.0, 10.0}, {1.0, 1.0, 1.0}, '@'};
+  PlotOptions opts;
+  opts.log_x = true;
+  const std::string out = render_plot({s}, opts);
+  // x=0 is unplottable on a log axis: 2 data glyphs + 1 legend glyph.
+  EXPECT_EQ(count_char(out, '@'), 3u);
+}
+
+TEST(AsciiPlot, TitleAppears) {
+  Series s{"d", {1}, {1}, '*'};
+  PlotOptions opts;
+  opts.title = "My Title";
+  EXPECT_NE(render_plot({s}, opts).find("My Title"), std::string::npos);
+}
+
+TEST(AsciiPlot, AxisLabelsAppear) {
+  Series s{"d", {1, 2}, {1, 2}, '*'};
+  PlotOptions opts;
+  opts.x_label = "rounds";
+  opts.y_label = "quality";
+  const std::string out = render_plot({s}, opts);
+  EXPECT_NE(out.find("x: rounds"), std::string::npos);
+  EXPECT_NE(out.find("y: quality"), std::string::npos);
+}
+
+TEST(AsciiPlot, FixedRangeClipsOutliers) {
+  Series s{"d", {1, 2, 3}, {50, 100, 500}, '*'};
+  PlotOptions opts;
+  opts.y_min = 0;
+  opts.y_max = 140;
+  const std::string out = render_plot({s}, opts);
+  // y=500 clipped: 2 data glyphs + 1 legend glyph.
+  EXPECT_EQ(count_char(out, '*'), 3u);
+  EXPECT_NE(out.find("140"), std::string::npos);
+}
+
+TEST(AsciiPlot, MultipleSeriesHaveDistinctGlyphs) {
+  Series a{"one", {1, 2}, {1, 2}, '1'};
+  Series b{"two", {1, 2}, {2, 1}, '2'};
+  PlotOptions opts;
+  const std::string out = render_plot({a, b}, opts);
+  EXPECT_GE(count_char(out, '1'), 2u);
+  EXPECT_GE(count_char(out, '2'), 2u);
+  EXPECT_NE(out.find("'1' one"), std::string::npos);
+  EXPECT_NE(out.find("'2' two"), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotDivideByZero) {
+  Series s{"flat", {1, 2, 3}, {5, 5, 5}, '*'};
+  PlotOptions opts;
+  const std::string out = render_plot({s}, opts);
+  EXPECT_GE(count_char(out, '*'), 2u);
+}
+
+TEST(AsciiPlot, RespectsCanvasDimensions) {
+  Series s{"d", {1, 2}, {1, 2}, '*'};
+  PlotOptions opts;
+  opts.width = 40;
+  opts.height = 10;
+  const std::string out = render_plot({s}, opts);
+  // 10 canvas rows + axis + x labels + axis note + legend.
+  EXPECT_EQ(count_char(out, '\n'), 14u);
+}
+
+}  // namespace
+}  // namespace p2pse::support

@@ -1,0 +1,103 @@
+#include "p2pse/support/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p2pse::support {
+namespace {
+
+TEST(IntHistogram, EmptyState) {
+  IntHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.count(5), 0u);
+}
+
+TEST(IntHistogram, AddAndQuery) {
+  IntHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(7, 5);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(7), 5u);
+  EXPECT_EQ(h.count(4), 0u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_NEAR(h.mean(), (3.0 * 2 + 7.0 * 5) / 7.0, 1e-12);
+}
+
+TEST(IntHistogram, ItemsAreSorted) {
+  IntHistogram h;
+  h.add(9);
+  h.add(1);
+  h.add(5);
+  const auto items = h.items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, 1u);
+  EXPECT_EQ(items[1].first, 5u);
+  EXPECT_EQ(items[2].first, 9u);
+}
+
+TEST(LogBinned, EmptyHistogram) {
+  IntHistogram h;
+  EXPECT_TRUE(log_binned(h).empty());
+}
+
+TEST(LogBinned, SkipsZeroValues) {
+  IntHistogram h;
+  h.add(0, 100);
+  h.add(2, 5);
+  const auto bins = log_binned(h);
+  std::uint64_t total = 0;
+  for (const auto& b : bins) total += b.count;
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(LogBinned, BinsCoverValues) {
+  IntHistogram h;
+  for (std::uint64_t v : {1, 2, 3, 10, 100, 1000}) h.add(v);
+  const auto bins = log_binned(h, 4);
+  std::uint64_t total = 0;
+  for (const auto& b : bins) {
+    EXPECT_GT(b.upper, b.lower);
+    EXPECT_GE(b.center, b.lower);
+    EXPECT_LE(b.center, b.upper);
+    total += b.count;
+  }
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(LogBinned, InvalidBinsPerDecade) {
+  IntHistogram h;
+  h.add(5);
+  EXPECT_TRUE(log_binned(h, 0).empty());
+  EXPECT_TRUE(log_binned(h, -2).empty());
+}
+
+TEST(PowerLawSlope, RecoversKnownExponent) {
+  // Build an exact power law: count(d) ~ d^-2.5 over two decades.
+  IntHistogram h;
+  for (std::uint64_t d = 1; d <= 300; ++d) {
+    const auto count = static_cast<std::uint64_t>(
+        1e7 * std::pow(static_cast<double>(d), -2.5));
+    if (count > 0) h.add(d, count);
+  }
+  const auto bins = log_binned(h, 8);
+  const double slope = power_law_slope(bins);
+  EXPECT_NEAR(slope, -2.5, 0.3);
+}
+
+TEST(PowerLawSlope, DegenerateInputs) {
+  EXPECT_EQ(power_law_slope({}), 0.0);
+  IntHistogram h;
+  h.add(5, 10);
+  EXPECT_EQ(power_law_slope(log_binned(h)), 0.0);  // single bin
+}
+
+}  // namespace
+}  // namespace p2pse::support
