@@ -31,11 +31,14 @@ inline int figure_main(int argc, char** argv, const char* what,
           "  --l L             Sample&Collide collision target (default %u)\n"
           "  --T t             Sample&Collide timer (default %.1f)\n"
           "  --agg-rounds R    Aggregation epoch length (default %u)\n"
-          "  --last-k K        lastKruns window (default %zu)\n",
+          "  --last-k K        lastKruns window (default %zu)\n"
+          "  --threads N       replica fan-out width, 0 = all hardware "
+          "threads (default %zu);\n"
+          "                    the report is byte-identical at any value\n",
           argv[0], what, defaults.nodes,
           static_cast<unsigned long long>(defaults.seed), defaults.estimations,
           defaults.replicas, defaults.sc_collisions, defaults.sc_timer,
-          defaults.agg_rounds, defaults.last_k);
+          defaults.agg_rounds, defaults.last_k, defaults.threads);
       return 0;
     }
     FigureParams params = defaults;
@@ -49,6 +52,7 @@ inline int figure_main(int argc, char** argv, const char* what,
     params.agg_rounds = static_cast<std::uint32_t>(
         args.get_uint("agg-rounds", params.agg_rounds));
     params.last_k = args.get_uint("last-k", params.last_k);
+    params.threads = args.get_uint("threads", params.threads);
 
     print_report(std::cout, generator(params));
     return 0;

@@ -36,7 +36,10 @@ WalkSample SampleCollide::sample(sim::Simulator& sim, net::NodeId initiator,
     if (timer <= 0.0) break;
   }
   out.node = current;
-  sim.meter().count(sim::MessageClass::kSampleReply);
+  // The sampled node reports back to the initiator — one reply message. When
+  // the walk never left the initiator (isolated node: zero steps), the
+  // initiator sampled itself locally and no message crosses the network.
+  if (out.steps > 0) sim.meter().count(sim::MessageClass::kSampleReply);
   return out;
 }
 

@@ -22,6 +22,8 @@ struct FigureParams {
   double sc_timer = 10.0;              ///< Sample&Collide T
   std::uint32_t agg_rounds = 50;       ///< Aggregation epoch length
   std::size_t last_k = 10;             ///< last10runs window
+  std::size_t threads = 0;  ///< replica fan-out width; 0 = hardware threads.
+                            ///< Output is byte-identical at any value.
 };
 
 // --- static setting (§IV-C) -------------------------------------------------

@@ -1,0 +1,28 @@
+#include "p2pse/harness/parallel_runner.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "p2pse/support/thread_pool.hpp"
+
+namespace p2pse::harness {
+
+ParallelReplicaRunner::ParallelReplicaRunner(std::size_t threads)
+    : threads_(threads != 0
+                   ? threads
+                   : std::max<std::size_t>(
+                         1, std::thread::hardware_concurrency())) {}
+
+void ParallelReplicaRunner::run(
+    std::size_t jobs, const std::function<void(std::size_t)>& fn) const {
+  if (jobs == 0) return;
+  const std::size_t workers = std::min(threads_, jobs);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+  support::ThreadPool pool(workers);
+  pool.parallel_for(jobs, fn);
+}
+
+}  // namespace p2pse::harness

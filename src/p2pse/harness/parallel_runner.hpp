@@ -1,0 +1,43 @@
+#pragma once
+// Deterministic fan-out of independent replica / parameter-grid jobs.
+//
+// Every job must derive its randomness from the root seed and its own index
+// (RngStream::split(tag, index)) and must not touch shared mutable state;
+// the runner then guarantees byte-identical reports at any thread count by
+// collecting results in job-index order. thread_count() == 1 runs the jobs
+// inline on the calling thread — that is the sequential baseline the
+// --threads flag of the bench binaries compares against.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace p2pse::harness {
+
+class ParallelReplicaRunner {
+ public:
+  /// `threads` == 0 picks std::thread::hardware_concurrency() (at least 1).
+  explicit ParallelReplicaRunner(std::size_t threads = 0);
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return threads_; }
+
+  /// Runs `fn(i)` for i in [0, jobs) and waits for completion. Jobs run
+  /// inline when the effective worker count is 1; otherwise they run on a
+  /// support::ThreadPool. The first exception thrown by any job propagates.
+  void run(std::size_t jobs, const std::function<void(std::size_t)>& fn) const;
+
+  /// Runs `fn(i)` for every index and returns the results in index order,
+  /// independent of scheduling. R must be default-constructible.
+  template <typename R>
+  [[nodiscard]] std::vector<R> map(
+      std::size_t jobs, const std::function<R(std::size_t)>& fn) const {
+    std::vector<R> results(jobs);
+    run(jobs, [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace p2pse::harness

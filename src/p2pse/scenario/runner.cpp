@@ -3,8 +3,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "p2pse/support/thread_pool.hpp"
-
 namespace p2pse::scenario {
 
 ScenarioRunner::ScenarioRunner(ScenarioScript script, GraphFactory factory,
@@ -120,18 +118,6 @@ Series ScenarioRunner::run_aggregation(const est::AggregationConfig& config,
     }
   }
   return series;
-}
-
-std::vector<Series> ScenarioRunner::collect_replicas(
-    std::size_t n, const std::function<Series(std::uint64_t)>& fn) {
-  std::vector<Series> results(n);
-  if (n == 0) return results;
-  support::ThreadPool pool(std::min<std::size_t>(
-      n, std::max<std::size_t>(1, std::thread::hardware_concurrency())));
-  pool.parallel_for(n, [&](std::size_t i) {
-    results[i] = fn(static_cast<std::uint64_t>(i));
-  });
-  return results;
 }
 
 }  // namespace p2pse::scenario

@@ -11,8 +11,9 @@
 //    rounds per time unit) and produces one estimate per epoch; this is what
 //    exposes the conservative effect under shrinking membership.
 //
-// run_replicas() executes independent replicas (different seed-derived RNG
-// streams) on a thread pool; results are deterministic per (seed, replica).
+// Independent replicas (different seed-derived RNG streams) are fanned out
+// by harness::ParallelReplicaRunner; results are deterministic per
+// (seed, replica) regardless of scheduling.
 
 #include <cstdint>
 #include <functional>
@@ -66,11 +67,6 @@ class ScenarioRunner {
   [[nodiscard]] Series run_aggregation(const est::AggregationConfig& config,
                                        double rounds_per_unit,
                                        std::uint64_t replica = 0) const;
-
-  /// Runs `fn(replica)` for replicas [0, n) in parallel and collects results
-  /// in replica order.
-  [[nodiscard]] static std::vector<Series> collect_replicas(
-      std::size_t n, const std::function<Series(std::uint64_t)>& fn);
 
   [[nodiscard]] const ScenarioScript& script() const noexcept { return script_; }
 

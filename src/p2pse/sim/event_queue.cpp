@@ -9,6 +9,7 @@ void EventQueue::schedule(Time when, Callback callback) {
 }
 
 Time EventQueue::run_next() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::run_next: empty");
   // priority_queue::top() is const; the callback must be moved out before
   // popping so it can run after the entry leaves the heap.
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
 namespace p2pse::sim {
@@ -21,10 +22,15 @@ class EventQueue {
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
-  /// Time of the earliest pending event. Undefined when empty().
-  [[nodiscard]] Time next_time() const noexcept { return heap_.top().when; }
+  /// Time of the earliest pending event.
+  /// Throws std::logic_error when empty().
+  [[nodiscard]] Time next_time() const {
+    if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
+    return heap_.top().when;
+  }
 
   /// Pops and runs the earliest event; returns its time.
+  /// Throws std::logic_error when empty().
   Time run_next();
 
   /// Runs all events with time <= `until` (inclusive). Returns the number run.

@@ -33,6 +33,20 @@ TEST(SampleCollideConfig, Validation) {
                std::invalid_argument);
 }
 
+TEST(SampleCollideWalk, IsolatedInitiatorSendsNoMessages) {
+  // An isolated node keeps the walk message and samples itself locally:
+  // no walk step and no reply ever crosses the network, so Table-1-style
+  // overhead counts must stay at zero in this degenerate case.
+  sim::Simulator sim(net::Graph(1), 9);
+  support::RngStream rng(3);
+  const SampleCollide sc({.timer = 10.0, .collisions = 1});
+  const std::uint64_t before = sim.meter().total();
+  const WalkSample ws = sc.sample(sim, 0, rng);
+  EXPECT_EQ(ws.node, 0u);
+  EXPECT_EQ(ws.steps, 0u);
+  EXPECT_EQ(sim.meter().since(before), 0u);
+}
+
 TEST(SampleCollideWalk, TerminatesAndCountsMessages) {
   sim::Simulator sim = hetero_sim(1000, 1);
   support::RngStream rng(2);

@@ -1,0 +1,144 @@
+// Determinism contract of the replica fan-out: the same seed must produce a
+// byte-identical FigureReport whether replicas run inline, on 2 threads, or
+// on 8 threads. Also covers the runner primitive itself.
+#include "p2pse/harness/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "p2pse/harness/figures.hpp"
+#include "p2pse/harness/report.hpp"
+
+namespace p2pse::harness {
+namespace {
+
+TEST(ParallelReplicaRunner, MapPreservesIndexOrder) {
+  const ParallelReplicaRunner pool(4);
+  const auto out = pool.map<std::size_t>(64, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelReplicaRunner, ZeroJobsIsANoOp) {
+  const ParallelReplicaRunner pool(4);
+  std::atomic<int> calls{0};
+  pool.run(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_TRUE(pool.map<int>(0, [](std::size_t) { return 1; }).empty());
+}
+
+TEST(ParallelReplicaRunner, SingleThreadRunsEveryJobInline) {
+  const ParallelReplicaRunner pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<std::size_t> order;  // safe: inline execution is sequential
+  pool.run(10, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelReplicaRunner, ZeroThreadsPicksHardwareConcurrency) {
+  const ParallelReplicaRunner pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelReplicaRunner, PropagatesJobExceptions) {
+  const ParallelReplicaRunner pool(2);
+  EXPECT_THROW(pool.run(8,
+                        [](std::size_t i) {
+                          if (i == 5) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+}
+
+TEST(ParallelReplicaRunner, RunsAllJobsAcrossThreads) {
+  const ParallelReplicaRunner pool(8);
+  std::atomic<std::size_t> sum{0};
+  pool.run(100, [&](std::size_t i) { sum += i + 1; });
+  EXPECT_EQ(sum.load(), 5050u);
+}
+
+std::string render(const FigureReport& report) {
+  std::ostringstream out;
+  print_report(out, report);
+  return out.str();
+}
+
+FigureParams report_params(std::size_t threads) {
+  FigureParams p;
+  p.nodes = 1200;
+  p.seed = 42;
+  p.estimations = 8;
+  p.replicas = 8;
+  p.sc_collisions = 20;
+  p.agg_rounds = 20;
+  p.last_k = 4;
+  p.threads = threads;
+  return p;
+}
+
+TEST(ParallelFigures, ScStaticReportIdenticalAt1And2And8Threads) {
+  const std::string baseline = render(fig_sc_static(report_params(1)));
+  EXPECT_EQ(render(fig_sc_static(report_params(2))), baseline);
+  EXPECT_EQ(render(fig_sc_static(report_params(8))), baseline);
+}
+
+TEST(ParallelFigures, HsStaticReportIdenticalAt1And2And8Threads) {
+  const std::string baseline = render(fig_hs_static(report_params(1)));
+  EXPECT_EQ(render(fig_hs_static(report_params(2))), baseline);
+  EXPECT_EQ(render(fig_hs_static(report_params(8))), baseline);
+}
+
+TEST(ParallelFigures, AggStaticReportIdenticalAt1And2And8Threads) {
+  FigureParams p = report_params(1);
+  p.estimations = 30;  // rounds
+  p.replicas = 3;
+  const std::string baseline = render(fig_agg_static(p));
+  p.threads = 2;
+  EXPECT_EQ(render(fig_agg_static(p)), baseline);
+  p.threads = 8;
+  EXPECT_EQ(render(fig_agg_static(p)), baseline);
+}
+
+TEST(ParallelFigures, ScDynamicReportIdenticalAt1And2And8Threads) {
+  FigureParams p = report_params(1);
+  p.replicas = 4;
+  const auto generate = [&] {
+    return render(fig_sc_dynamic(DynamicKind::kShrinking, p));
+  };
+  const std::string baseline = generate();
+  p.threads = 2;
+  EXPECT_EQ(generate(), baseline);
+  p.threads = 8;
+  EXPECT_EQ(generate(), baseline);
+}
+
+TEST(ParallelFigures, LSweepReportIdenticalAcrossThreadCounts) {
+  FigureParams p = report_params(1);
+  p.estimations = 3;
+  const std::string baseline = render(ablation_sc_l_sweep(p));
+  p.threads = 4;
+  EXPECT_EQ(render(ablation_sc_l_sweep(p)), baseline);
+}
+
+TEST(ParallelFigures, StaticReplicaZeroMatchesSingleReplicaSeries) {
+  // The plotted curves are replica #1; shrinking the replica count must not
+  // change them, only the cross-replica aggregate notes.
+  FigureParams p = report_params(1);
+  const FigureReport many = fig_sc_static(p);
+  p.replicas = 1;
+  const FigureReport one = fig_sc_static(p);
+  ASSERT_EQ(many.series.size(), 2u);
+  ASSERT_EQ(one.series.size(), 2u);
+  EXPECT_EQ(many.series[0].y, one.series[0].y);
+  EXPECT_EQ(many.series[1].y, one.series[1].y);
+}
+
+}  // namespace
+}  // namespace p2pse::harness

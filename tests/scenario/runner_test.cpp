@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "p2pse/est/sample_collide.hpp"
+#include "p2pse/harness/parallel_runner.hpp"
 #include "p2pse/net/builders.hpp"
 #include "p2pse/scenario/scenarios.hpp"
 
@@ -87,10 +88,12 @@ TEST(ScenarioRunner, DifferentReplicasDiffer) {
   EXPECT_TRUE(any_diff);
 }
 
-TEST(ScenarioRunner, CollectReplicasPreservesOrderAndDeterminism) {
+TEST(ScenarioRunner, ParallelReplicasPreserveOrderAndDeterminism) {
   const ScenarioRunner runner(static_script(), factory(500), 7);
-  const auto runs = ScenarioRunner::collect_replicas(4, [&](std::uint64_t r) {
-    return runner.run_point(3, sample_collide_estimator(5), r);
+  const harness::ParallelReplicaRunner pool(4);
+  const auto runs = pool.map<Series>(4, [&](std::size_t r) {
+    return runner.run_point(3, sample_collide_estimator(5),
+                            static_cast<std::uint64_t>(r));
   });
   ASSERT_EQ(runs.size(), 4u);
   // Replica 2 recomputed sequentially must match the parallel result.

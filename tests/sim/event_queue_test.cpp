@@ -89,5 +89,23 @@ TEST(EventQueue, ClearDropsPending) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueue, NextTimeOnEmptyThrows) {
+  const EventQueue q;
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, RunNextOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)q.run_next(), std::logic_error);
+  // Draining then calling again must also throw, and leave the queue usable.
+  q.schedule(1.0, [] {});
+  EXPECT_DOUBLE_EQ(q.run_next(), 1.0);
+  EXPECT_THROW((void)q.run_next(), std::logic_error);
+  int fired = 0;
+  q.schedule(2.0, [&] { ++fired; });
+  EXPECT_DOUBLE_EQ(q.run_next(), 2.0);
+  EXPECT_EQ(fired, 1);
+}
+
 }  // namespace
 }  // namespace p2pse::sim

@@ -94,5 +94,32 @@ TEST(Args, NegativeNumberAsValue) {
   EXPECT_EQ(args.get_int("offset", 0), -5);
 }
 
+TEST(Args, FigureMainFlags) {
+  // The exact flag set bench/figure_main.hpp maps onto FigureParams.
+  const Args args = make_args({"fig01", "--l", "200", "--T", "10.5",
+                               "--threads", "8", "--replicas=3",
+                               "--agg-rounds", "50", "--last-k=10"});
+  EXPECT_EQ(args.get_uint("l", 0), 200u);
+  EXPECT_DOUBLE_EQ(args.get_double("T", 0.0), 10.5);
+  EXPECT_EQ(args.get_uint("threads", 0), 8u);
+  EXPECT_EQ(args.get_uint("replicas", 0), 3u);
+  EXPECT_EQ(args.get_uint("agg-rounds", 0), 50u);
+  EXPECT_EQ(args.get_uint("last-k", 0), 10u);
+}
+
+TEST(Args, SingleLetterFlagsAreCaseSensitive) {
+  // --l (collision target) and --T (timer) must not collide.
+  const Args args = make_args({"fig01", "--l=10", "--T=2.0"});
+  EXPECT_EQ(args.get_uint("l", 0), 10u);
+  EXPECT_DOUBLE_EQ(args.get_double("T", 0.0), 2.0);
+  EXPECT_FALSE(args.has("t"));
+  EXPECT_FALSE(args.has("L"));
+}
+
+TEST(Args, ThreadsZeroMeansAuto) {
+  const Args args = make_args({"fig01", "--threads", "0"});
+  EXPECT_EQ(args.get_uint("threads", 4), 0u);
+}
+
 }  // namespace
 }  // namespace p2pse::support
