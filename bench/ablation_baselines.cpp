@@ -1,9 +1,6 @@
-// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+// One-line lookup into the declarative figure matrix (harness::figure_specs()).
 #include "figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace p2pse::harness;
-  FigureParams d;
-  d.nodes = 20000; d.estimations = 20;
-  return figure_main(argc, argv, "Ablation: Random Tour + naive Inverted Birthday vs Sample&Collide", d, ablation_baselines);
+  return p2pse::harness::figure_main(argc, argv, "ablation_baselines");
 }

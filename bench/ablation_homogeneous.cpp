@@ -1,9 +1,6 @@
-// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+// One-line lookup into the declarative figure matrix (harness::figure_specs()).
 #include "figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace p2pse::harness;
-  FigureParams d;
-  d.nodes = 50000; d.estimations = 20;
-  return figure_main(argc, argv, "Ablation: heterogeneous vs homogeneous overlays (paper SIV-A remark)", d, ablation_homogeneous);
+  return p2pse::harness::figure_main(argc, argv, "ablation_homogeneous");
 }

@@ -1,9 +1,6 @@
-// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+// One-line lookup into the declarative figure matrix (harness::figure_specs()).
 #include "figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace p2pse::harness;
-  FigureParams d;
-  d.nodes = 50000; d.estimations = 100; d.sc_collisions = 100; d.agg_rounds = 50;
-  return figure_main(argc, argv, "Extension: flash-crowd oscillation tracking (S&C vs Aggregation)", d, ablation_oscillating);
+  return p2pse::harness::figure_main(argc, argv, "ablation_oscillating");
 }

@@ -1,9 +1,6 @@
-// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+// One-line lookup into the declarative figure matrix (harness::figure_specs()).
 #include "figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace p2pse::harness;
-  FigureParams d;
-  d.nodes = 2000;
-  return figure_main(argc, argv, "Ablation: T-walk vs Metropolis-Hastings vs naive walk sampling uniformity", d, ablation_samplers);
+  return p2pse::harness::figure_main(argc, argv, "ablation_samplers");
 }

@@ -1,9 +1,6 @@
-// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+// One-line lookup into the declarative figure matrix (harness::figure_specs()).
 #include "figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace p2pse::harness;
-  FigureParams d;
-  d.nodes = 1000000; d.estimations = 18; d.sc_collisions = 200;
-  return figure_main(argc, argv, "Paper Fig 2: Sample&Collide oneShot/last10runs, l=200, 1M nodes, static", d, fig_sc_static);
+  return p2pse::harness::figure_main(argc, argv, "fig02");
 }

@@ -1,9 +1,6 @@
-// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+// One-line lookup into the declarative figure matrix (harness::figure_specs()).
 #include "figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace p2pse::harness;
-  FigureParams d;
-  d.nodes = 100000; d.estimations = 100;
-  return figure_main(argc, argv, "Paper Fig 3: HopsSampling oneShot/last10runs, 100k nodes, static", d, fig_hs_static);
+  return p2pse::harness::figure_main(argc, argv, "fig03");
 }

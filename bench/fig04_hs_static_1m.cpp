@@ -1,9 +1,6 @@
-// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+// One-line lookup into the declarative figure matrix (harness::figure_specs()).
 #include "figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace p2pse::harness;
-  FigureParams d;
-  d.nodes = 1000000; d.estimations = 20;
-  return figure_main(argc, argv, "Paper Fig 4: HopsSampling oneShot/last10runs, 1M nodes, static", d, fig_hs_static);
+  return p2pse::harness::figure_main(argc, argv, "fig04");
 }

@@ -1,9 +1,6 @@
-// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+// One-line lookup into the declarative figure matrix (harness::figure_specs()).
 #include "figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace p2pse::harness;
-  FigureParams d;
-  d.nodes = 100000; d.estimations = 100; d.replicas = 3;
-  return figure_main(argc, argv, "Paper Fig 5: Aggregation quality vs round, 100k nodes", d, fig_agg_static);
+  return p2pse::harness::figure_main(argc, argv, "fig05");
 }

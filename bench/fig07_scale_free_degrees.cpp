@@ -1,9 +1,6 @@
-// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+// One-line lookup into the declarative figure matrix (harness::figure_specs()).
 #include "figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace p2pse::harness;
-  FigureParams d;
-  d.nodes = 100000;
-  return figure_main(argc, argv, "Paper Fig 7: scale-free degree distribution, 100k nodes, BA m=3", d, fig_scale_free_degrees);
+  return p2pse::harness::figure_main(argc, argv, "fig07");
 }

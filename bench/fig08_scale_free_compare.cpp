@@ -1,9 +1,6 @@
-// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+// One-line lookup into the declarative figure matrix (harness::figure_specs()).
 #include "figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace p2pse::harness;
-  FigureParams d;
-  d.nodes = 100000; d.estimations = 100; d.sc_collisions = 200; d.agg_rounds = 50;
-  return figure_main(argc, argv, "Paper Fig 8: the 3 algorithms on a 100k-node scale-free graph", d, fig_scale_free_compare);
+  return p2pse::harness::figure_main(argc, argv, "fig08");
 }

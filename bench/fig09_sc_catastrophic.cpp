@@ -1,9 +1,6 @@
-// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+// One-line lookup into the declarative figure matrix (harness::figure_specs()).
 #include "figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace p2pse::harness;
-  FigureParams d;
-  d.nodes = 100000; d.estimations = 100; d.replicas = 3; d.sc_collisions = 200;
-  return figure_main(argc, argv, "Paper Fig 09: Sample&Collide oneShot, 100k nodes, catastrophic scenario", d, [](const FigureParams& p) { return fig_sc_dynamic(DynamicKind::kCatastrophic, p); });
+  return p2pse::harness::figure_main(argc, argv, "fig09");
 }

@@ -1,9 +1,6 @@
-// Auto-thin main: see src/p2pse/harness/figures.cpp for the generator logic.
+// One-line lookup into the declarative figure matrix (harness::figure_specs()).
 #include "figure_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace p2pse::harness;
-  FigureParams d;
-  d.nodes = 100000; d.estimations = 50; d.sc_collisions = 10;
-  return figure_main(argc, argv, "Paper Fig 18: Sample&Collide with l=10 (cheap configuration), 100k nodes", d, fig_sc_static);
+  return p2pse::harness::figure_main(argc, argv, "fig18");
 }

@@ -1,25 +1,84 @@
 #pragma once
-// Shared main() body for the figure-reproduction binaries: maps CLI flags
-// onto FigureParams (defaults = the paper's values for that figure), runs
-// the generator and prints the report.
+// Shared main() body for the figure-reproduction binaries. Every binary is a
+// one-line lookup into harness::figure_specs(): the FigureSpec carries the
+// paper-default FigureParams, the CLI overlays --nodes/--seed/... on top,
+// and the spec's generator family produces the report. Unknown flags are
+// hard errors (a typo'd flag silently falling back to its default would
+// corrupt a sweep).
 
 #include <cstdio>
 #include <exception>
-#include <functional>
+#include <fstream>
 #include <iostream>
+#include <iterator>
+#include <optional>
+#include <span>
+#include <string>
 
 #include "p2pse/harness/figures.hpp"
 #include "p2pse/support/args.hpp"
 
 namespace p2pse::harness {
 
-using FigureGenerator = std::function<FigureReport(const FigureParams&)>;
+inline constexpr std::string_view kFigureFlags[] = {
+    "nodes",      "seed",   "estimations", "replicas", "l",
+    "T",          "agg-rounds", "last-k",  "threads",  "csv",
+};
 
-inline int figure_main(int argc, char** argv, const char* what,
-                       FigureParams defaults,
-                       const FigureGenerator& generator) {
+/// Maps the shared CLI flags onto `params`. Shared by figure_main and the
+/// p2pse_matrix driver so every binary speaks the same dialect.
+inline FigureParams figure_params_from_args(const support::Args& args,
+                                            FigureParams defaults) {
+  FigureParams params = defaults;
+  params.nodes = args.get_uint("nodes", params.nodes);
+  params.seed = args.get_uint("seed", params.seed);
+  params.estimations = args.get_uint("estimations", params.estimations);
+  params.replicas = args.get_uint("replicas", params.replicas);
+  params.sc_collisions = static_cast<std::uint32_t>(
+      args.get_uint("l", params.sc_collisions));
+  params.sc_timer = args.get_double("T", params.sc_timer);
+  params.agg_rounds = static_cast<std::uint32_t>(
+      args.get_uint("agg-rounds", params.agg_rounds));
+  params.last_k = args.get_uint("last-k", params.last_k);
+  params.threads = args.get_uint("threads", params.threads);
+  return params;
+}
+
+/// The --csv PATH value, or std::nullopt when the flag is absent. A bare
+/// `--csv` (which Args parses as boolean "true") is a hard error — it must
+/// not silently write a file literally named "true".
+inline std::optional<std::string> csv_path_from_args(
+    const support::Args& args) {
+  if (!args.has("csv")) return std::nullopt;
+  const std::string path = args.get_string("csv", "");
+  if (path.empty() || path == "true") {
+    throw std::invalid_argument("--csv requires a PATH value");
+  }
+  return path;
+}
+
+/// Writes the report's machine-readable series to `path` (--csv PATH).
+inline void write_csv_to_path(const FigureReport& report,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open --csv path '" + path +
+                             "' for writing");
+  }
+  write_csv_file(out, report);
+}
+
+inline int figure_main(int argc, char** argv, std::string_view figure_id) {
+  const FigureSpec* spec = find_figure(figure_id);
+  if (!spec) {
+    std::fprintf(stderr, "%s: figure '%s' is not in harness::figure_specs()\n",
+                 argc > 0 ? argv[0] : "figure_main",
+                 std::string(figure_id).c_str());
+    return 1;
+  }
   try {
     const support::Args args(argc, argv);
+    const FigureParams& d = spec->defaults;
     if (args.help_requested()) {
       std::printf(
           "%s — %s\n"
@@ -34,27 +93,21 @@ inline int figure_main(int argc, char** argv, const char* what,
           "  --last-k K        lastKruns window (default %zu)\n"
           "  --threads N       replica fan-out width, 0 = all hardware "
           "threads (default %zu);\n"
-          "                    the report is byte-identical at any value\n",
-          argv[0], what, defaults.nodes,
-          static_cast<unsigned long long>(defaults.seed), defaults.estimations,
-          defaults.replicas, defaults.sc_collisions, defaults.sc_timer,
-          defaults.agg_rounds, defaults.last_k, defaults.threads);
+          "                    the report is byte-identical at any value\n"
+          "  --csv PATH        also write the per-replica "
+          "(time,truth,estimate,messages,valid)\n"
+          "                    series as plain CSV to PATH\n",
+          argv[0], std::string(spec->what).c_str(), d.nodes,
+          static_cast<unsigned long long>(d.seed), d.estimations, d.replicas,
+          d.sc_collisions, d.sc_timer, d.agg_rounds, d.last_k, d.threads);
       return 0;
     }
-    FigureParams params = defaults;
-    params.nodes = args.get_uint("nodes", params.nodes);
-    params.seed = args.get_uint("seed", params.seed);
-    params.estimations = args.get_uint("estimations", params.estimations);
-    params.replicas = args.get_uint("replicas", params.replicas);
-    params.sc_collisions = static_cast<std::uint32_t>(
-        args.get_uint("l", params.sc_collisions));
-    params.sc_timer = args.get_double("T", params.sc_timer);
-    params.agg_rounds = static_cast<std::uint32_t>(
-        args.get_uint("agg-rounds", params.agg_rounds));
-    params.last_k = args.get_uint("last-k", params.last_k);
-    params.threads = args.get_uint("threads", params.threads);
-
-    print_report(std::cout, generator(params));
+    args.require_known(std::span<const std::string_view>(kFigureFlags));
+    const std::optional<std::string> csv_path = csv_path_from_args(args);
+    const FigureParams params = figure_params_from_args(args, d);
+    const FigureReport report = run_figure(*spec, params);
+    if (csv_path) write_csv_to_path(report, *csv_path);
+    print_report(std::cout, report);
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "%s: error: %s\n", argv[0], error.what());

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "p2pse/est/aggregation.hpp"
+#include "p2pse/est/estimator.hpp"
 #include "p2pse/est/hops_sampling.hpp"
 #include "p2pse/est/sample_collide.hpp"
 #include "p2pse/est/smoothing.hpp"
@@ -36,16 +37,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = args.get_uint("seed", 5);
   const std::string kind = args.get_string("scenario", "static");
 
-  scenario::ScenarioScript script;
-  if (kind == "growing") {
-    script = scenario::growing_script(nodes);
-  } else if (kind == "shrinking") {
-    script = scenario::shrinking_script(nodes);
-  } else if (kind == "catastrophic") {
-    script = scenario::catastrophic_script(nodes);
-  } else {
-    script = scenario::static_script();
-  }
+  const scenario::ScenarioScript script =
+      scenario::script_by_name(kind, nodes);
 
   const scenario::ScenarioRunner runner(
       script,
@@ -102,10 +95,11 @@ int main(int argc, char** argv) {
            }));
   }
   {
-    // Aggregation runs epochs continuously over the same timeline.
+    // Aggregation runs epochs continuously over the same timeline, driven
+    // through the unified estimator interface.
+    const est::AggregationEstimator agg({.rounds_per_epoch = 50});
     report("Aggregation (50-round epochs)",
-           runner.run_aggregation({.rounds_per_epoch = 50},
-                                  /*rounds_per_unit=*/1.0));
+           runner.run(agg, {.estimations = 0, .rounds_per_unit = 1.0}));
   }
 
   std::printf(

@@ -1,0 +1,301 @@
+#include "p2pse/est/registry.hpp"
+
+#include <charconv>
+#include <initializer_list>
+#include <stdexcept>
+
+namespace p2pse::est {
+namespace {
+
+using Overrides = EstimatorRegistry::Overrides;
+
+[[noreturn]] void bad_value(std::string_view name, std::string_view key,
+                            std::string_view expected,
+                            std::string_view value) {
+  throw std::invalid_argument(std::string(name) + ": override '" +
+                              std::string(key) + "' expects " +
+                              std::string(expected) + ", got '" +
+                              std::string(value) + "'");
+}
+
+/// Converts override values on access. Key validation happens once in
+/// EstimatorRegistry::build against the entry's registered key list, so
+/// factories never re-state which keys exist.
+class OverrideReader {
+ public:
+  OverrideReader(std::string_view name, const Overrides& overrides)
+      : name_(name), overrides_(overrides) {}
+
+  [[nodiscard]] std::uint64_t get_uint(std::string_view key,
+                                       std::uint64_t fallback) const {
+    const std::string* raw = find(key);
+    if (!raw) return fallback;
+    std::uint64_t out = 0;
+    const auto [ptr, ec] =
+        std::from_chars(raw->data(), raw->data() + raw->size(), out);
+    if (ec != std::errc{} || ptr != raw->data() + raw->size()) {
+      bad_value(name_, key, "a non-negative integer", *raw);
+    }
+    return out;
+  }
+
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const {
+    const std::string* raw = find(key);
+    if (!raw) return fallback;
+    try {
+      std::size_t consumed = 0;
+      const double out = std::stod(*raw, &consumed);
+      if (consumed != raw->size()) throw std::invalid_argument("trailing");
+      return out;
+    } catch (const std::exception&) {
+      bad_value(name_, key, "a number", *raw);
+    }
+  }
+
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const {
+    const std::string* raw = find(key);
+    if (!raw) return fallback;
+    if (*raw == "true" || *raw == "1" || *raw == "yes") return true;
+    if (*raw == "false" || *raw == "0" || *raw == "no") return false;
+    bad_value(name_, key, "a boolean", *raw);
+  }
+
+  [[nodiscard]] const std::string* find(std::string_view key) const {
+    for (const auto& [k, v] : overrides_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::string_view name_;
+  const Overrides& overrides_;
+};
+
+EstimatorRegistry make_global() {
+  EstimatorRegistry registry;
+
+  registry.add("sample_collide", {"l", "T", "estimator"},
+               [](const Overrides& o) {
+    OverrideReader reader("sample_collide", o);
+    SampleCollideConfig config;
+    config.collisions =
+        static_cast<std::uint32_t>(reader.get_uint("l", config.collisions));
+    config.timer = reader.get_double("T", config.timer);
+    if (const std::string* kind = reader.find("estimator")) {
+      if (*kind == "quadratic") {
+        config.estimator = CollisionEstimator::kQuadratic;
+      } else if (*kind == "mle") {
+        config.estimator = CollisionEstimator::kMaximumLikelihood;
+      } else {
+        bad_value("sample_collide", "estimator", "quadratic|mle", *kind);
+      }
+    }
+    return std::make_unique<SampleCollideEstimator>(config);
+  });
+
+  registry.add(
+      "hops_sampling",
+      {"gossip_to", "gossip_for", "gossip_until", "min_hops", "oracle",
+       "last_k"},
+      [](const Overrides& o) {
+        OverrideReader reader("hops_sampling", o);
+        HopsSamplingEstimatorConfig config;
+        config.hops.gossip_to = static_cast<std::uint32_t>(
+            reader.get_uint("gossip_to", config.hops.gossip_to));
+        config.hops.gossip_for = static_cast<std::uint32_t>(
+            reader.get_uint("gossip_for", config.hops.gossip_for));
+        config.hops.gossip_until = static_cast<std::uint32_t>(
+            reader.get_uint("gossip_until", config.hops.gossip_until));
+        config.hops.min_hops_reporting = static_cast<std::uint32_t>(
+            reader.get_uint("min_hops", config.hops.min_hops_reporting));
+        config.hops.oracle_distances =
+            reader.get_bool("oracle", config.hops.oracle_distances);
+        config.smooth_last_k = reader.get_uint("last_k", 0);
+        return std::make_unique<HopsSamplingEstimator>(config);
+      });
+
+  registry.add("random_tour", {"max_steps"}, [](const Overrides& o) {
+    OverrideReader reader("random_tour", o);
+    RandomTourConfig config;
+    config.max_steps = reader.get_uint("max_steps", config.max_steps);
+    return std::make_unique<RandomTourEstimator>(config);
+  });
+
+  registry.add("interval_density", {"leafset"}, [](const Overrides& o) {
+    OverrideReader reader("interval_density", o);
+    IntervalDensityConfig config;
+    config.leafset = reader.get_uint("leafset", config.leafset);
+    return std::make_unique<IntervalDensityEstimator>(config);
+  });
+
+  registry.add("inverted_birthday", {"walk_length", "l"},
+               [](const Overrides& o) {
+    OverrideReader reader("inverted_birthday", o);
+    InvertedBirthdayConfig config;
+    config.walk_length = static_cast<std::uint32_t>(
+        reader.get_uint("walk_length", config.walk_length));
+    config.collisions =
+        static_cast<std::uint32_t>(reader.get_uint("l", config.collisions));
+    return std::make_unique<InvertedBirthdayEstimator>(config);
+  });
+
+  registry.add("flat_polling", {"p"}, [](const Overrides& o) {
+    OverrideReader reader("flat_polling", o);
+    FlatPollingConfig config;
+    config.reply_probability =
+        reader.get_double("p", config.reply_probability);
+    return std::make_unique<FlatPollingEstimator>(config);
+  });
+
+  registry.add("aggregation", {"rounds", "push_pull"},
+               [](const Overrides& o) {
+    OverrideReader reader("aggregation", o);
+    AggregationConfig config;
+    config.rounds_per_epoch = static_cast<std::uint32_t>(
+        reader.get_uint("rounds", config.rounds_per_epoch));
+    config.push_pull = reader.get_bool("push_pull", config.push_pull);
+    return std::make_unique<AggregationEstimator>(config);
+  });
+
+  registry.add(
+      "aggregation_suite", {"rounds", "instances", "combine"},
+      [](const Overrides& o) {
+        OverrideReader reader("aggregation_suite", o);
+        MultiAggregationConfig config;
+        config.rounds_per_epoch = static_cast<std::uint32_t>(
+            reader.get_uint("rounds", config.rounds_per_epoch));
+        config.instances = static_cast<std::uint32_t>(
+            reader.get_uint("instances", config.instances));
+        if (const std::string* combine = reader.find("combine")) {
+          if (*combine == "median") {
+            config.combine = MultiAggregationConfig::Combine::kMedian;
+          } else if (*combine == "mean") {
+            config.combine = MultiAggregationConfig::Combine::kMean;
+          } else {
+            bad_value("aggregation_suite", "combine", "median|mean", *combine);
+          }
+        }
+        return std::make_unique<AggregationSuiteEstimator>(config);
+      });
+
+  return registry;
+}
+
+}  // namespace
+
+EstimatorSpec EstimatorSpec::parse(std::string_view text) {
+  EstimatorSpec spec;
+  const std::size_t colon = text.find(':');
+  spec.name = std::string(text.substr(0, colon));
+  if (spec.name.empty()) {
+    throw std::invalid_argument("estimator spec: empty name in '" +
+                                std::string(text) + "'");
+  }
+  if (colon == std::string_view::npos) return spec;
+  std::string_view rest = text.substr(colon + 1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument("estimator spec '" + spec.name +
+                                  "': override '" + std::string(item) +
+                                  "' is not of the form key=value");
+    }
+    spec.overrides.emplace_back(std::string(item.substr(0, eq)),
+                                std::string(item.substr(eq + 1)));
+  }
+  return spec;
+}
+
+bool EstimatorSpec::has(std::string_view key) const {
+  for (const auto& [k, v] : overrides) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void EstimatorSpec::set_default(std::string_view key, std::string value) {
+  if (!has(key)) overrides.emplace_back(std::string(key), std::move(value));
+}
+
+std::string EstimatorSpec::canonical() const {
+  std::string out = name;
+  for (std::size_t i = 0; i < overrides.size(); ++i) {
+    out += i == 0 ? ':' : ',';
+    out += overrides[i].first + "=" + overrides[i].second;
+  }
+  return out;
+}
+
+const EstimatorRegistry& EstimatorRegistry::global() {
+  static const EstimatorRegistry registry = make_global();
+  return registry;
+}
+
+void EstimatorRegistry::add(std::string name, std::vector<std::string> keys,
+                            Factory factory) {
+  entries_[std::move(name)] = Entry{std::move(keys), std::move(factory)};
+}
+
+std::unique_ptr<Estimator> EstimatorRegistry::build(
+    const EstimatorSpec& spec) const {
+  const auto it = entries_.find(spec.name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [name, entry] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw std::invalid_argument("unknown estimator '" + spec.name +
+                                "' (registered: " + known + ")");
+  }
+  // Validate override keys against the single registered key list so a
+  // typo'd key can never silently yield a default-configured estimator.
+  for (const auto& [key, value] : spec.overrides) {
+    bool known = false;
+    for (const auto& valid : it->second.keys) known |= (key == valid);
+    if (!known) {
+      throw std::invalid_argument(spec.name + ": unknown override key '" +
+                                  key + "' (valid keys: " +
+                                  keys_help(spec.name) + ")");
+    }
+  }
+  return it->second.factory(spec.overrides);
+}
+
+std::unique_ptr<Estimator> EstimatorRegistry::build(
+    std::string_view spec_text) const {
+  return build(EstimatorSpec::parse(spec_text));
+}
+
+bool EstimatorRegistry::contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string> EstimatorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::string EstimatorRegistry::keys_help(std::string_view name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("unknown estimator '" + std::string(name) +
+                                "'");
+  }
+  std::string out;
+  for (const auto& key : it->second.keys) {
+    if (!out.empty()) out += ", ";
+    out += key;
+  }
+  return out;
+}
+
+}  // namespace p2pse::est

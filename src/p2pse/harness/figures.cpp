@@ -1,16 +1,20 @@
 #include "p2pse/harness/figures.hpp"
 
+#include <array>
 #include <cmath>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include "p2pse/est/aggregation.hpp"
 #include "p2pse/est/delay.hpp"
+#include "p2pse/est/estimator.hpp"
 #include "p2pse/est/flat_polling.hpp"
 #include "p2pse/est/hops_sampling.hpp"
 #include "p2pse/est/interval_density.hpp"
 #include "p2pse/est/inverted_birthday.hpp"
 #include "p2pse/est/random_tour.hpp"
+#include "p2pse/est/registry.hpp"
 #include "p2pse/est/sample_collide.hpp"
 #include "p2pse/est/smoothing.hpp"
 #include "p2pse/harness/parallel_runner.hpp"
@@ -50,22 +54,13 @@ scenario::GraphFactory hetero_factory(std::size_t nodes) {
   return [nodes](RngStream& rng) { return build_hetero(nodes, rng); };
 }
 
-scenario::ScenarioScript script_for(DynamicKind kind, std::size_t nodes) {
-  switch (kind) {
-    case DynamicKind::kCatastrophic: return scenario::catastrophic_script(nodes);
-    case DynamicKind::kGrowing: return scenario::growing_script(nodes);
-    case DynamicKind::kShrinking: return scenario::shrinking_script(nodes);
-  }
-  return scenario::static_script();
-}
-
-std::string_view kind_name(DynamicKind kind) {
-  switch (kind) {
-    case DynamicKind::kCatastrophic: return "catastrophic failures";
-    case DynamicKind::kGrowing: return "growing network";
-    case DynamicKind::kShrinking: return "shrinking network";
-  }
-  return "static";
+/// Human label of a scenario name for figure titles.
+std::string_view kind_label(std::string_view scenario) {
+  if (scenario == "catastrophic") return "catastrophic failures";
+  if (scenario == "growing") return "growing network";
+  if (scenario == "shrinking") return "shrinking network";
+  if (scenario == "oscillating") return "oscillating flash crowds";
+  return "static overlay";
 }
 
 support::PlotOptions quality_plot(std::string title, std::string x_label) {
@@ -79,6 +74,25 @@ support::PlotOptions quality_plot(std::string title, std::string x_label) {
   return plot;
 }
 
+/// Parses a spec-table estimator string and layers the CLI-tunable paper
+/// parameters (FigureParams) underneath any overrides the table already
+/// carries. `smooth_hs` injects the lastKruns window for dynamic
+/// HopsSampling figures; static figures smooth in the series loop instead.
+est::EstimatorSpec spec_with_params(std::string_view text,
+                                    const FigureParams& params,
+                                    bool smooth_hs) {
+  est::EstimatorSpec spec = est::EstimatorSpec::parse(text);
+  if (spec.name == "sample_collide") {
+    spec.set_default("l", std::to_string(params.sc_collisions));
+    spec.set_default("T", format_double(params.sc_timer));
+  } else if (spec.name == "aggregation" || spec.name == "aggregation_suite") {
+    spec.set_default("rounds", std::to_string(params.agg_rounds));
+  } else if (spec.name == "hops_sampling" && smooth_hs) {
+    spec.set_default("last_k", std::to_string(params.last_k));
+  }
+  return spec;
+}
+
 /// Shared body of Figs 1/2/18 and 3/4: run `estimations` one-shot polls of a
 /// point estimator on a static heterogeneous overlay, reporting oneShot and
 /// lastK quality series.
@@ -89,7 +103,11 @@ struct StaticSeriesResult {
   support::RunningStats err_last_k;
   support::RunningStats signed_err_one_shot;  // quality-100
   support::RunningStats messages;
-  support::RunningStats reach;  // poll coverage fraction (HopsSampling only)
+  support::RunningStats reach;  // poll coverage fraction (spread phase only)
+  /// (estimation index, truth, estimate, messages, valid) for --csv
+  /// export. Invalid estimates are kept but flagged so external plots can
+  /// filter them instead of charting value 0.
+  std::vector<std::array<double, 5>> raw;
 };
 
 /// Fans the static-figure replicas out across the runner. Replica `rep`
@@ -104,17 +122,23 @@ std::vector<StaticSeriesResult> run_static_replicas(
   return pool.map<StaticSeriesResult>(replicas, body);
 }
 
-StaticSeriesResult run_static_series(
-    sim::Simulator& sim, std::size_t estimations, std::size_t last_k_window,
-    RngStream& est_rng, net::NodeId initiator,
-    const scenario::PointEstimator& estimator) {
+StaticSeriesResult run_static_series(sim::Simulator& sim,
+                                     std::size_t estimations,
+                                     std::size_t last_k_window,
+                                     RngStream& est_rng, net::NodeId initiator,
+                                     est::Estimator& estimator) {
   StaticSeriesResult result;
   result.last_k.name = "last " + std::to_string(last_k_window) + " runs";
   result.last_k.glyph = '+';
   est::LastKAverage smoother(last_k_window);
   const double truth = static_cast<double>(sim.graph().size());
   for (std::size_t i = 1; i <= estimations; ++i) {
-    const est::Estimate e = estimator(sim, initiator, est_rng);
+    const est::Estimate e = estimator.estimate_point(sim, initiator, est_rng);
+    const double coverage = estimator.last_coverage();
+    if (!std::isnan(coverage)) result.reach.add(coverage);
+    result.raw.push_back({static_cast<double>(i), truth, e.value,
+                          static_cast<double>(e.messages),
+                          e.valid ? 1.0 : 0.0});
     if (!e.valid) continue;
     const double q_one = support::quality_percent(e.value, truth);
     const double q_avg = support::quality_percent(smoother.add(e.value), truth);
@@ -173,58 +197,39 @@ double mean_tracking_error(const std::vector<scenario::Series>& replicas) {
   return err.mean();
 }
 
-}  // namespace
-
-FigureReport fig_sc_static(const FigureParams& params) {
-  const RngStream root(params.seed);
-  const auto outcomes = run_static_replicas(params, [&](std::size_t rep) {
-    RngStream graph_rng = root.split("graph", rep);
-    sim::Simulator sim(build_hetero(params.nodes, graph_rng),
-                       root.split("sim", rep).seed());
-    RngStream pick = root.split("initiator", rep);
-    RngStream est_rng = root.split("estimator", rep);
-    const est::SampleCollide sc({.timer = params.sc_timer,
-                                 .collisions = params.sc_collisions});
-    const net::NodeId initiator = sim.graph().random_alive(pick);
-    return run_static_series(
-        sim, params.estimations, params.last_k, est_rng, initiator,
-        [&sc](sim::Simulator& s, net::NodeId init, RngStream& rng) {
-          return sc.estimate_once(s, init, rng);
-        });
-  });
-  StaticSeriesResult r;  // cross-replica aggregates, merged in replica order
-  for (const auto& o : outcomes) {
-    r.err_one_shot.merge(o.err_one_shot);
-    r.err_last_k.merge(o.err_last_k);
-    r.messages.merge(o.messages);
+double mean_messages(const std::vector<scenario::Series>& replicas) {
+  support::RunningStats msgs;
+  for (const auto& series : replicas) {
+    for (const auto& point : series) {
+      if (point.valid) msgs.add(static_cast<double>(point.messages));
+    }
   }
-
-  FigureReport report;
-  report.id = "fig_sc_static";
-  report.title = "Sample&Collide: oneShot and last" +
-                 std::to_string(params.last_k) + "runs quality, static overlay";
-  report.params = "nodes=" + std::to_string(params.nodes) +
-                  " l=" + std::to_string(params.sc_collisions) +
-                  " T=" + format_double(params.sc_timer) +
-                  " estimations=" + std::to_string(params.estimations) +
-                  " replicas=" + std::to_string(outcomes.size()) +
-                  " seed=" + std::to_string(params.seed);
-  report.plot = quality_plot("Quality of Sample&Collide estimations",
-                             "Number of estimations");
-  report.series = {outcomes.front().one_shot, outcomes.front().last_k};
-  report.notes = {
-      "mean |error| oneShot: " + format_double(r.err_one_shot.mean(), 3) +
-          "% (paper: mostly within 10%, peaks to 20%)",
-      "mean |error| lastK:   " + format_double(r.err_last_k.mean(), 3) +
-          "% (paper: within 3-4%)",
-      "mean messages per estimation: " + human_count(r.messages.mean()),
-      "stats over " + std::to_string(outcomes.size()) +
-          " independent overlay replicas; plotted curves are replica #1",
-  };
-  return report;
+  return msgs.mean();
 }
 
-FigureReport fig_hs_static(const FigureParams& params) {
+/// Records the per-replica (time, truth, estimate, messages) series for
+/// --csv export. Not printed with the report.
+void attach_raw_series(FigureReport& report,
+                       const std::vector<scenario::Series>& replicas) {
+  report.raw_columns = {"replica", "time",     "truth",
+                        "estimate", "messages", "valid"};
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    for (const auto& point : replicas[r]) {
+      report.raw_rows.push_back({static_cast<double>(r), point.time,
+                                 point.truth, point.estimate,
+                                 static_cast<double>(point.messages),
+                                 point.valid ? 1.0 : 0.0});
+    }
+  }
+}
+
+// --- static setting (§IV-C): Figs 1-4, 18 -----------------------------------
+
+FigureReport fig_static_quality(const FigureSpec& spec,
+                                const FigureParams& params) {
+  const std::unique_ptr<est::Estimator> proto =
+      est::EstimatorRegistry::global().build(
+          spec_with_params(spec.estimator, params, /*smooth_hs=*/false));
   const RngStream root(params.seed);
   const auto outcomes = run_static_replicas(params, [&](std::size_t rep) {
     RngStream graph_rng = root.split("graph", rep);
@@ -232,19 +237,10 @@ FigureReport fig_hs_static(const FigureParams& params) {
                        root.split("sim", rep).seed());
     RngStream pick = root.split("initiator", rep);
     RngStream est_rng = root.split("estimator", rep);
-    const est::HopsSampling hs({});
-    support::RunningStats reach;
+    const std::unique_ptr<est::Estimator> estimator = proto->clone();
     const net::NodeId initiator = sim.graph().random_alive(pick);
-    StaticSeriesResult r = run_static_series(
-        sim, params.estimations, params.last_k, est_rng, initiator,
-        [&hs, &reach](sim::Simulator& s, net::NodeId init, RngStream& rng) {
-          const est::HopsSamplingResult res = hs.run_once(s, init, rng);
-          reach.add(static_cast<double>(res.reached) /
-                    static_cast<double>(s.graph().size()));
-          return res.estimate;
-        });
-    r.reach = reach;
-    return r;
+    return run_static_series(sim, params.estimations, params.last_k, est_rng,
+                             initiator, *estimator);
   });
   StaticSeriesResult r;  // cross-replica aggregates, merged in replica order
   for (const auto& o : outcomes) {
@@ -256,36 +252,66 @@ FigureReport fig_hs_static(const FigureParams& params) {
   }
 
   FigureReport report;
-  report.id = "fig_hs_static";
-  report.title = "HopsSampling: oneShot and last" + std::to_string(params.last_k) +
+  report.id = "fig_" + std::string(proto->short_name()) + "_static";
+  report.title = std::string(proto->display_name()) + ": oneShot and last" +
+                 std::to_string(params.last_k) +
                  "runs quality, static overlay";
-  report.params = "nodes=" + std::to_string(params.nodes) +
-                  " gossipTo=2 gossipFor=1 gossipUntil=1 minHopsReporting=5" +
+  report.params = "nodes=" + std::to_string(params.nodes) + " " +
+                  proto->describe() +
                   " estimations=" + std::to_string(params.estimations) +
                   " replicas=" + std::to_string(outcomes.size()) +
                   " seed=" + std::to_string(params.seed);
-  report.plot = quality_plot("Quality of HopsSampling estimations",
-                             "Number of estimations");
+  report.plot = quality_plot(
+      "Quality of " + std::string(proto->display_name()) + " estimations",
+      "Number of estimations");
   report.series = {outcomes.front().one_shot, outcomes.front().last_k};
-  report.notes = {
+
+  // Paper-comparison suffixes differ per candidate; the measurements and
+  // their order do not.
+  const bool polls = r.reach.count() > 0;  // spread-phase estimators
+  const bool is_sc = proto->name() == "sample_collide";
+  const bool is_hs = proto->name() == "hops_sampling";
+  report.notes.push_back(
       "mean |error| oneShot: " + format_double(r.err_one_shot.mean(), 3) +
-          "% (paper: peaks over 50%)",
-      "mean |error| lastK:   " + format_double(r.err_last_k.mean(), 3) +
-          "% (paper: within 20%, consistent under-estimation)",
-      "mean signed error oneShot: " +
-          format_double(r.signed_err_one_shot.mean(), 3) +
-          "% (negative = under-estimates, as the paper observes)",
-      "mean poll coverage: " + format_double(100.0 * r.reach.mean(), 4) +
-          "% of nodes reached (paper: ~89% at 1e5)",
-      "mean messages per estimation: " + human_count(r.messages.mean()) +
-          " (paper: O(2N))",
+      "%" +
+      (is_sc ? " (paper: mostly within 10%, peaks to 20%)"
+             : is_hs ? " (paper: peaks over 50%)" : ""));
+  report.notes.push_back(
+      "mean |error| lastK:   " + format_double(r.err_last_k.mean(), 3) + "%" +
+      (is_sc ? " (paper: within 3-4%)"
+             : is_hs ? " (paper: within 20%, consistent under-estimation)"
+                     : ""));
+  if (polls) {
+    report.notes.push_back(
+        "mean signed error oneShot: " +
+        format_double(r.signed_err_one_shot.mean(), 3) +
+        "% (negative = under-estimates, as the paper observes)");
+    report.notes.push_back(
+        "mean poll coverage: " + format_double(100.0 * r.reach.mean(), 4) +
+        "% of nodes reached" + (is_hs ? " (paper: ~89% at 1e5)" : ""));
+  }
+  report.notes.push_back("mean messages per estimation: " +
+                         human_count(r.messages.mean()) +
+                         (is_hs ? " (paper: O(2N))" : ""));
+  report.notes.push_back(
       "stats over " + std::to_string(outcomes.size()) +
-          " independent overlay replicas; plotted curves are replica #1",
-  };
+      " independent overlay replicas; plotted curves are replica #1");
+
+  report.raw_columns = {"replica", "estimation", "truth",
+                        "estimate", "messages",  "valid"};
+  for (std::size_t rep = 0; rep < outcomes.size(); ++rep) {
+    for (const auto& row : outcomes[rep].raw) {
+      report.raw_rows.push_back({static_cast<double>(rep), row[0], row[1],
+                                 row[2], row[3], row[4]});
+    }
+  }
   return report;
 }
 
-FigureReport fig_agg_static(const FigureParams& params) {
+// --- Figs 5, 6: Aggregation convergence -------------------------------------
+
+FigureReport fig_agg_convergence(const FigureSpec& spec,
+                                 const FigureParams& params) {
   const RngStream root(params.seed);
   const std::size_t rounds = params.estimations;  // x-axis: rounds (paper: 100)
   // Paper semantics: the independent estimations all run on the SAME overlay.
@@ -293,6 +319,12 @@ FigureReport fig_agg_static(const FigureParams& params) {
   // parallel without sharing a mutable Simulator.
   RngStream graph_rng = root.split("graph");
   const net::Graph graph = build_hetero(params.nodes, graph_rng);
+
+  est::EstimatorSpec espec = est::EstimatorSpec::parse(spec.estimator);
+  espec.set_default("rounds",
+                    std::to_string(std::max<std::size_t>(1, rounds)));
+  const std::unique_ptr<est::Estimator> proto =
+      est::EstimatorRegistry::global().build(espec);
 
   FigureReport report;
   report.id = "fig_agg_static";
@@ -307,6 +339,7 @@ FigureReport fig_agg_static(const FigureParams& params) {
   struct AggRun {
     support::Series series;
     std::size_t converged_at = 0;
+    std::vector<std::array<double, 5>> raw;  // round,truth,estimate,msgs,valid
   };
   const char glyphs[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
   const ParallelReplicaRunner pool(params.threads);
@@ -315,19 +348,22 @@ FigureReport fig_agg_static(const FigureParams& params) {
     const double truth = static_cast<double>(sim.graph().size());
     RngStream pick = root.split("initiator", run);
     RngStream est_rng = root.split("estimator", run);
-    est::Aggregation agg({.rounds_per_epoch = static_cast<std::uint32_t>(
-                              std::max<std::size_t>(1, rounds))});
+    const std::unique_ptr<est::Estimator> agg = proto->clone();
     const net::NodeId initiator = sim.graph().random_alive(pick);
-    agg.start_epoch(sim, initiator);
+    agg->start_epoch(sim, initiator, est_rng);
     AggRun out;
     out.series.name = "Estimation #" + std::to_string(run + 1);
     out.series.glyph = glyphs[run % sizeof glyphs];
     for (std::size_t round = 1; round <= rounds; ++round) {
-      agg.run_round(sim, est_rng);
-      const est::Estimate e = agg.estimate_at(sim, initiator);
+      const std::uint64_t before = sim.meter().total();
+      agg->run_round(sim, est_rng);
+      const est::Estimate e = agg->epoch_estimate(sim, initiator);
       const double q = e.valid ? support::quality_percent(e.value, truth) : 0.0;
       out.series.x.push_back(static_cast<double>(round));
       out.series.y.push_back(q);
+      out.raw.push_back({static_cast<double>(round), truth, e.value,
+                         static_cast<double>(sim.meter().since(before)),
+                         e.valid ? 1.0 : 0.0});
       if (out.converged_at == 0 && std::abs(q - 100.0) <= 1.0) {
         out.converged_at = round;
       }
@@ -344,10 +380,21 @@ FigureReport fig_agg_static(const FigureParams& params) {
   }
   report.notes.push_back(
       "paper: converges around round 40 at 1e5 nodes, around 50 at 1e6");
+  report.raw_columns = {"replica", "round",    "truth",
+                        "estimate", "messages", "valid"};
+  for (std::size_t run = 0; run < runs.size(); ++run) {
+    for (const auto& row : runs[run].raw) {
+      report.raw_rows.push_back({static_cast<double>(run), row[0], row[1],
+                                 row[2], row[3], row[4]});
+    }
+  }
   return report;
 }
 
-FigureReport fig_scale_free_degrees(const FigureParams& params) {
+// --- Fig 7: scale-free degree distribution ----------------------------------
+
+FigureReport fig_scale_free_degrees(const FigureSpec&,
+                                    const FigureParams& params) {
   const RngStream root(params.seed);
   RngStream graph_rng = root.split("graph");
   const net::Graph graph =
@@ -384,7 +431,10 @@ FigureReport fig_scale_free_degrees(const FigureParams& params) {
   return report;
 }
 
-FigureReport fig_scale_free_compare(const FigureParams& params) {
+// --- Fig 8: the three algorithms on the scale-free graph --------------------
+
+FigureReport fig_scale_free_compare(const FigureSpec&,
+                                    const FigureParams& params) {
   const RngStream root(params.seed);
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(net::build_barabasi_albert({params.nodes, 3}, graph_rng),
@@ -467,114 +517,128 @@ FigureReport fig_scale_free_compare(const FigureParams& params) {
   return report;
 }
 
-FigureReport fig_sc_dynamic(DynamicKind kind, const FigureParams& params) {
-  const scenario::ScenarioRunner runner(script_for(kind, params.nodes),
-                                        hetero_factory(params.nodes),
-                                        params.seed);
-  const est::SampleCollide sc({.timer = params.sc_timer,
-                               .collisions = params.sc_collisions});
+// --- dynamic setting (§IV-D): Figs 9-17 and the matrix core -----------------
+
+/// Shared driver for every estimator × scenario combination: builds the
+/// prototype, fans `params.replicas` deterministic replicas over the
+/// unified ScenarioRunner, and assembles the tracking report. The paper
+/// figures (9-17) add their exact captions/axes on top; every other
+/// combination gets generic labels.
+FigureReport dynamic_tracking(const est::Estimator& proto,
+                              std::string_view scenario,
+                              const FigureParams& params,
+                              double rounds_per_unit) {
+  const scenario::ScenarioRunner runner(
+      scenario::script_by_name(scenario, params.nodes),
+      hetero_factory(params.nodes), params.seed);
+  const scenario::ScenarioRunner::RunOptions options{params.estimations,
+                                                     rounds_per_unit};
   const ParallelReplicaRunner pool(params.threads);
-  const auto replicas = pool.map<scenario::Series>(
-      params.replicas, [&](std::size_t r) {
-        return runner.run_point(
-            params.estimations,
-            [&sc](sim::Simulator& s, net::NodeId init, RngStream& rng) {
-              return sc.estimate_once(s, init, rng);
-            },
-            static_cast<std::uint64_t>(r));
+  const std::size_t replica_count = std::max<std::size_t>(1, params.replicas);
+  const auto replicas =
+      pool.map<scenario::Series>(replica_count, [&](std::size_t r) {
+        return runner.run(proto, options, static_cast<std::uint64_t>(r));
       });
 
-  // Paper's x-axis for Figs 9-11 is the estimation index.
-  const double per_estimation =
-      static_cast<double>(params.estimations) / scenario::kScenarioDuration;
-  FigureReport report =
-      dynamic_report(replicas, "Number of estimations", per_estimation);
-  report.id = "fig_sc_dynamic";
-  report.title = std::string("Sample&Collide oneShot, ") +
-                 std::string(kind_name(kind));
-  report.params = "nodes=" + std::to_string(params.nodes) +
-                  " l=" + std::to_string(params.sc_collisions) +
-                  " estimations=" + std::to_string(params.estimations) +
-                  " replicas=" + std::to_string(params.replicas) +
-                  " seed=" + std::to_string(params.seed);
-  report.notes = {
-      "mean |estimate-truth|/truth: " +
-          format_double(100.0 * mean_tracking_error(replicas), 3) +
-          "% (paper: reacts well even to brutal changes)",
-  };
+  // Captions/axes always describe the estimator that actually ran — the
+  // prototype's config, not FigureParams (a matrix spec override like
+  // `sample_collide:l=10` must not be reported as the paper's l=200).
+  const std::string_view name = proto.name();
+  FigureReport report;
+  if (name == "sample_collide") {
+    const auto& sc = dynamic_cast<const est::SampleCollideEstimator&>(proto);
+    // Paper's x-axis for Figs 9-11 is the estimation index.
+    const double per_estimation =
+        static_cast<double>(params.estimations) / scenario::kScenarioDuration;
+    report = dynamic_report(replicas, "Number of estimations", per_estimation);
+    report.id = "fig_sc_dynamic";
+    report.title = std::string("Sample&Collide oneShot, ") +
+                   std::string(kind_label(scenario));
+    report.params = "nodes=" + std::to_string(params.nodes) +
+                    " l=" + std::to_string(sc.config().collisions) +
+                    " estimations=" + std::to_string(params.estimations) +
+                    " replicas=" + std::to_string(params.replicas) +
+                    " seed=" + std::to_string(params.seed);
+    report.notes = {
+        "mean |estimate-truth|/truth: " +
+            format_double(100.0 * mean_tracking_error(replicas), 3) +
+            "% (paper: reacts well even to brutal changes)",
+    };
+  } else if (name == "hops_sampling") {
+    const auto& hs = dynamic_cast<const est::HopsSamplingEstimator&>(proto);
+    report = dynamic_report(replicas, "Time", 1.0);
+    report.id = "fig_hs_dynamic";
+    report.title = "HopsSampling " +
+                   (hs.smooth_last_k() > 0
+                        ? "last" + std::to_string(hs.smooth_last_k()) + "runs"
+                        : std::string("oneShot")) +
+                   ", " + std::string(kind_label(scenario));
+    report.params = "nodes=" + std::to_string(params.nodes) +
+                    " estimations=" + std::to_string(params.estimations) +
+                    " replicas=" + std::to_string(params.replicas) +
+                    " seed=" + std::to_string(params.seed);
+    report.notes = {
+        "mean |estimate-truth|/truth: " +
+            format_double(100.0 * mean_tracking_error(replicas), 3) +
+            "% (paper: good behaviour, slight under-estimation, more variance "
+            "than Sample&Collide)",
+    };
+  } else if (name == "aggregation") {
+    const auto& agg = dynamic_cast<const est::AggregationEstimator&>(proto);
+    report = dynamic_report(replicas, "#Round", rounds_per_unit);
+    report.id = "fig_agg_dynamic";
+    report.title = std::string("Aggregation (") +
+                   std::to_string(agg.config().rounds_per_epoch) +
+                   "-round epochs), " + std::string(kind_label(scenario));
+    report.params = "nodes=" + std::to_string(params.nodes) +
+                    " rounds_per_epoch=" +
+                    std::to_string(agg.config().rounds_per_epoch) +
+                    " replicas=" + std::to_string(params.replicas) +
+                    " seed=" + std::to_string(params.seed);
+    report.notes = {
+        "mean |estimate-truth|/truth: " +
+            format_double(100.0 * mean_tracking_error(replicas), 3) + "%",
+        "paper: adapts to growth; under heavy departures the overlay loses "
+        "connectivity and estimates degrade (threshold ~30% departures)",
+    };
+  } else {
+    // Off-paper combination: generic labels derived from the estimator.
+    const bool epoch = proto.mode() == est::Estimator::Mode::kEpoch;
+    report = dynamic_report(replicas, epoch ? "#Round" : "Time",
+                            epoch ? rounds_per_unit : 1.0);
+    report.id = "fig_" + std::string(proto.short_name()) + "_dynamic";
+    report.title = std::string(proto.display_name()) + " (" +
+                   proto.describe() + "), " +
+                   std::string(kind_label(scenario));
+    report.params =
+        "nodes=" + std::to_string(params.nodes) +
+        (epoch ? " rounds_per_unit=" + format_double(rounds_per_unit)
+               : " estimations=" + std::to_string(params.estimations)) +
+        " replicas=" + std::to_string(replica_count) +
+        " seed=" + std::to_string(params.seed);
+    report.notes = {
+        "mean |estimate-truth|/truth: " +
+            format_double(100.0 * mean_tracking_error(replicas), 3) + "%",
+        "mean messages per estimate: " +
+            human_count(mean_messages(replicas)),
+    };
+  }
+  attach_raw_series(report, replicas);
   return report;
 }
 
-FigureReport fig_hs_dynamic(DynamicKind kind, const FigureParams& params) {
-  const scenario::ScenarioRunner runner(script_for(kind, params.nodes),
-                                        hetero_factory(params.nodes),
-                                        params.seed);
-  const est::HopsSampling hs({});
-  const std::size_t last_k = params.last_k;
-  const ParallelReplicaRunner pool(params.threads);
-  const auto replicas = pool.map<scenario::Series>(
-      params.replicas, [&](std::size_t r) {
-        auto smoother = std::make_shared<est::LastKAverage>(last_k);
-        return runner.run_point(
-            params.estimations,
-            [&hs, smoother](sim::Simulator& s, net::NodeId init,
-                            RngStream& rng) {
-              est::Estimate e = hs.run_once(s, init, rng).estimate;
-              if (e.valid) e.value = smoother->add(e.value);
-              return e;
-            },
-            static_cast<std::uint64_t>(r));
-      });
-
-  FigureReport report = dynamic_report(replicas, "Time", 1.0);
-  report.id = "fig_hs_dynamic";
-  report.title = std::string("HopsSampling last") + std::to_string(last_k) +
-                 "runs, " + std::string(kind_name(kind));
-  report.params = "nodes=" + std::to_string(params.nodes) +
-                  " estimations=" + std::to_string(params.estimations) +
-                  " replicas=" + std::to_string(params.replicas) +
-                  " seed=" + std::to_string(params.seed);
-  report.notes = {
-      "mean |estimate-truth|/truth: " +
-          format_double(100.0 * mean_tracking_error(replicas), 3) +
-          "% (paper: good behaviour, slight under-estimation, more variance "
-          "than Sample&Collide)",
-  };
-  return report;
+FigureReport fig_dynamic_tracking(const FigureSpec& spec,
+                                  const FigureParams& params) {
+  const std::unique_ptr<est::Estimator> proto =
+      est::EstimatorRegistry::global().build(
+          spec_with_params(spec.estimator, params, /*smooth_hs=*/true));
+  return dynamic_tracking(*proto, spec.scenario, params,
+                          /*rounds_per_unit=*/10.0);
 }
 
-FigureReport fig_agg_dynamic(DynamicKind kind, const FigureParams& params) {
-  const scenario::ScenarioRunner runner(script_for(kind, params.nodes),
-                                        hetero_factory(params.nodes),
-                                        params.seed);
-  const est::AggregationConfig config{.rounds_per_epoch = params.agg_rounds};
-  const double rounds_per_unit = 10.0;  // 0..1000 units -> 0..10000 rounds
-  const ParallelReplicaRunner pool(params.threads);
-  const auto replicas = pool.map<scenario::Series>(
-      params.replicas, [&](std::size_t r) {
-        return runner.run_aggregation(config, rounds_per_unit,
-                                      static_cast<std::uint64_t>(r));
-      });
+// --- overheads (§IV-E): Table I ---------------------------------------------
 
-  FigureReport report = dynamic_report(replicas, "#Round", rounds_per_unit);
-  report.id = "fig_agg_dynamic";
-  report.title = std::string("Aggregation (") +
-                 std::to_string(params.agg_rounds) + "-round epochs), " +
-                 std::string(kind_name(kind));
-  report.params = "nodes=" + std::to_string(params.nodes) +
-                  " rounds_per_epoch=" + std::to_string(params.agg_rounds) +
-                  " replicas=" + std::to_string(params.replicas) +
-                  " seed=" + std::to_string(params.seed);
-  report.notes = {
-      "mean |estimate-truth|/truth: " +
-          format_double(100.0 * mean_tracking_error(replicas), 3) + "%",
-      "paper: adapts to growth; under heavy departures the overlay loses "
-      "connectivity and estimates degrade (threshold ~30% departures)",
-  };
-  return report;
-}
-
-FigureReport table1_overhead(const FigureParams& params) {
+FigureReport table1_overhead(const FigureSpec&, const FigureParams& params) {
   const RngStream root(params.seed);
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
@@ -679,7 +743,10 @@ FigureReport table1_overhead(const FigureParams& params) {
   return report;
 }
 
-FigureReport ablation_sc_l_sweep(const FigureParams& params) {
+// --- ablations beyond the paper's figures (§V claims) -----------------------
+
+FigureReport ablation_sc_l_sweep(const FigureSpec&,
+                                 const FigureParams& params) {
   const RngStream root(params.seed);
   RngStream graph_rng = root.split("graph");
   const net::Graph graph = build_hetero(params.nodes, graph_rng);
@@ -733,7 +800,8 @@ FigureReport ablation_sc_l_sweep(const FigureParams& params) {
   return report;
 }
 
-FigureReport ablation_sc_timer_sweep(const FigureParams& params) {
+FigureReport ablation_sc_timer_sweep(const FigureSpec&,
+                                     const FigureParams& params) {
   const RngStream root(params.seed);
   RngStream graph_rng = root.split("graph");
   const net::Graph graph = build_hetero(params.nodes, graph_rng);
@@ -784,7 +852,8 @@ FigureReport ablation_sc_timer_sweep(const FigureParams& params) {
   return report;
 }
 
-FigureReport ablation_hs_oracle(const FigureParams& params) {
+FigureReport ablation_hs_oracle(const FigureSpec&,
+                                const FigureParams& params) {
   const RngStream root(params.seed);
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
@@ -828,7 +897,8 @@ FigureReport ablation_hs_oracle(const FigureParams& params) {
   return report;
 }
 
-FigureReport ablation_estimators(const FigureParams& params) {
+FigureReport ablation_estimators(const FigureSpec&,
+                                 const FigureParams& params) {
   const RngStream root(params.seed);
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
@@ -872,7 +942,8 @@ FigureReport ablation_estimators(const FigureParams& params) {
   return report;
 }
 
-FigureReport ablation_homogeneous(const FigureParams& params) {
+FigureReport ablation_homogeneous(const FigureSpec&,
+                                  const FigureParams& params) {
   const RngStream root(params.seed);
 
   FigureReport report;
@@ -936,7 +1007,8 @@ FigureReport ablation_homogeneous(const FigureParams& params) {
   return report;
 }
 
-FigureReport ablation_baselines(const FigureParams& params) {
+FigureReport ablation_baselines(const FigureSpec&,
+                                const FigureParams& params) {
   const RngStream root(params.seed);
 
   FigureReport report;
@@ -1010,7 +1082,8 @@ FigureReport ablation_baselines(const FigureParams& params) {
   return report;
 }
 
-FigureReport ablation_cyclon_healing(const FigureParams& params) {
+FigureReport ablation_cyclon_healing(const FigureSpec&,
+                                     const FigureParams& params) {
   const RngStream root(params.seed);
 
   FigureReport report;
@@ -1075,7 +1148,7 @@ FigureReport ablation_cyclon_healing(const FigureParams& params) {
   return report;
 }
 
-FigureReport ablation_delay(const FigureParams& params) {
+FigureReport ablation_delay(const FigureSpec&, const FigureParams& params) {
   const RngStream root(params.seed);
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
@@ -1138,7 +1211,8 @@ FigureReport ablation_delay(const FigureParams& params) {
   return report;
 }
 
-FigureReport ablation_structured(const FigureParams& params) {
+FigureReport ablation_structured(const FigureSpec&,
+                                 const FigureParams& params) {
   const RngStream root(params.seed);
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
@@ -1211,7 +1285,7 @@ FigureReport ablation_structured(const FigureParams& params) {
   return report;
 }
 
-FigureReport ablation_polling(const FigureParams& params) {
+FigureReport ablation_polling(const FigureSpec&, const FigureParams& params) {
   const RngStream root(params.seed);
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
@@ -1280,7 +1354,8 @@ FigureReport ablation_polling(const FigureParams& params) {
   return report;
 }
 
-FigureReport ablation_samplers(const FigureParams& params) {
+FigureReport ablation_samplers(const FigureSpec&,
+                               const FigureParams& params) {
   const RngStream root(params.seed);
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
@@ -1341,21 +1416,20 @@ FigureReport ablation_samplers(const FigureParams& params) {
   return report;
 }
 
-FigureReport ablation_oscillating(const FigureParams& params) {
+FigureReport ablation_oscillating(const FigureSpec&,
+                                  const FigureParams& params) {
   const scenario::ScenarioRunner runner(
       scenario::oscillating_script(params.nodes, 4, 0.25),
       hetero_factory(params.nodes), params.seed);
 
-  const est::SampleCollide sc({.timer = params.sc_timer,
-                               .collisions = params.sc_collisions});
-  const scenario::Series sc_series = runner.run_point(
-      params.estimations,
-      [&sc](sim::Simulator& s, net::NodeId init, RngStream& rng) {
-        return sc.estimate_once(s, init, rng);
-      },
-      0);
-  const scenario::Series agg_series = runner.run_aggregation(
-      {.rounds_per_epoch = params.agg_rounds}, /*rounds_per_unit=*/1.0, 0);
+  // Both candidates through the unified interface: one atomic, one epoched.
+  const est::SampleCollideEstimator sc({.timer = params.sc_timer,
+                                        .collisions = params.sc_collisions});
+  const scenario::Series sc_series =
+      runner.run(sc, {.estimations = params.estimations}, 0);
+  const est::AggregationEstimator agg({.rounds_per_epoch = params.agg_rounds});
+  const scenario::Series agg_series =
+      runner.run(agg, {.estimations = 0, .rounds_per_unit = 1.0}, 0);
 
   FigureReport report;
   report.id = "ablation_oscillating";
@@ -1400,6 +1474,192 @@ FigureReport ablation_oscillating(const FigureParams& params) {
       "extension beyond the paper's monotone scenarios; the moderate churn "
       "keeps the overlay connected, so Aggregation degrades by lag only",
   };
+  attach_raw_series(report, {sc_series, agg_series});
+  return report;
+}
+
+}  // namespace
+
+// --- the declarative figure/scenario matrix ---------------------------------
+
+const std::vector<FigureSpec>& figure_specs() {
+  static const std::vector<FigureSpec> specs = {
+      {"fig01",
+       "Paper Fig 1: Sample&Collide oneShot/last10runs, l=200, 100k nodes, "
+       "static",
+       "sample_collide", "static", fig_static_quality,
+       {.nodes = 100000, .estimations = 100, .sc_collisions = 200}},
+      {"fig02",
+       "Paper Fig 2: Sample&Collide oneShot/last10runs, l=200, 1M nodes, "
+       "static",
+       "sample_collide", "static", fig_static_quality,
+       {.nodes = 1000000, .estimations = 18, .sc_collisions = 200}},
+      {"fig03",
+       "Paper Fig 3: HopsSampling oneShot/last10runs, 100k nodes, static",
+       "hops_sampling", "static", fig_static_quality,
+       {.nodes = 100000, .estimations = 100}},
+      {"fig04",
+       "Paper Fig 4: HopsSampling oneShot/last10runs, 1M nodes, static",
+       "hops_sampling", "static", fig_static_quality,
+       {.nodes = 1000000, .estimations = 20}},
+      {"fig05", "Paper Fig 5: Aggregation quality vs round, 100k nodes",
+       "aggregation", "static", fig_agg_convergence,
+       {.nodes = 100000, .estimations = 100, .replicas = 3}},
+      {"fig06", "Paper Fig 6: Aggregation quality vs round, 1M nodes",
+       "aggregation", "static", fig_agg_convergence,
+       {.nodes = 1000000, .estimations = 100, .replicas = 3}},
+      {"fig07",
+       "Paper Fig 7: scale-free degree distribution, 100k nodes, BA m=3", "",
+       "", fig_scale_free_degrees, {.nodes = 100000}},
+      {"fig08",
+       "Paper Fig 8: the 3 algorithms on a 100k-node scale-free graph", "",
+       "static", fig_scale_free_compare,
+       {.nodes = 100000, .estimations = 100, .sc_collisions = 200,
+        .agg_rounds = 50}},
+      {"fig09",
+       "Paper Fig 09: Sample&Collide oneShot, 100k nodes, catastrophic "
+       "scenario",
+       "sample_collide", "catastrophic", fig_dynamic_tracking,
+       {.nodes = 100000, .estimations = 100, .replicas = 3,
+        .sc_collisions = 200}},
+      {"fig10",
+       "Paper Fig 10: Sample&Collide oneShot, 100k nodes, growing scenario",
+       "sample_collide", "growing", fig_dynamic_tracking,
+       {.nodes = 100000, .estimations = 100, .replicas = 3,
+        .sc_collisions = 200}},
+      {"fig11",
+       "Paper Fig 11: Sample&Collide oneShot, 100k nodes, shrinking scenario",
+       "sample_collide", "shrinking", fig_dynamic_tracking,
+       {.nodes = 100000, .estimations = 100, .replicas = 3,
+        .sc_collisions = 200}},
+      {"fig12",
+       "Paper Fig 12: HopsSampling last10runs, 100k nodes, catastrophic "
+       "scenario",
+       "hops_sampling", "catastrophic", fig_dynamic_tracking,
+       {.nodes = 100000, .estimations = 100, .replicas = 3}},
+      {"fig13",
+       "Paper Fig 13: HopsSampling last10runs, 100k nodes, growing scenario",
+       "hops_sampling", "growing", fig_dynamic_tracking,
+       {.nodes = 100000, .estimations = 100, .replicas = 3}},
+      {"fig14",
+       "Paper Fig 14: HopsSampling last10runs, 100k nodes, shrinking "
+       "scenario",
+       "hops_sampling", "shrinking", fig_dynamic_tracking,
+       {.nodes = 100000, .estimations = 100, .replicas = 3}},
+      {"fig15",
+       "Paper Fig 15: Aggregation (50-round epochs), 100k nodes, "
+       "catastrophic scenario",
+       "aggregation", "catastrophic", fig_dynamic_tracking,
+       {.nodes = 100000, .replicas = 3, .agg_rounds = 50}},
+      {"fig16",
+       "Paper Fig 16: Aggregation (50-round epochs), 100k nodes, growing "
+       "scenario",
+       "aggregation", "growing", fig_dynamic_tracking,
+       {.nodes = 100000, .replicas = 3, .agg_rounds = 50}},
+      {"fig17",
+       "Paper Fig 17: Aggregation (50-round epochs), 100k nodes, shrinking "
+       "scenario",
+       "aggregation", "shrinking", fig_dynamic_tracking,
+       {.nodes = 100000, .replicas = 3, .agg_rounds = 50}},
+      {"fig18",
+       "Paper Fig 18: Sample&Collide with l=10 (cheap configuration), 100k "
+       "nodes",
+       "sample_collide", "static", fig_static_quality,
+       {.nodes = 100000, .estimations = 50, .sc_collisions = 10}},
+      {"table1",
+       "Paper Table I: accuracy vs overhead of the four configurations, 100k "
+       "nodes",
+       "", "static", table1_overhead, {.nodes = 100000, .estimations = 10}},
+      {"ablation_sc_l_sweep",
+       "Ablation: Sample&Collide cost/accuracy vs l (paper SV cost ratios)",
+       "sample_collide", "static", ablation_sc_l_sweep,
+       {.nodes = 100000, .estimations = 5}},
+      {"ablation_sc_timer_sweep",
+       "Ablation: T-walk sampler uniformity vs timer budget T",
+       "sample_collide", "static", ablation_sc_timer_sweep, {.nodes = 2000}},
+      {"ablation_hs_oracle",
+       "Ablation: HopsSampling gossip distances vs oracle BFS distances "
+       "(paper SV)",
+       "hops_sampling", "static", ablation_hs_oracle,
+       {.nodes = 100000, .estimations = 20}},
+      {"ablation_estimators",
+       "Ablation: quadratic vs maximum-likelihood collision estimators",
+       "sample_collide", "static", ablation_estimators,
+       {.nodes = 100000, .estimations = 20, .sc_collisions = 200}},
+      {"ablation_homogeneous",
+       "Ablation: heterogeneous vs homogeneous overlays (paper SIV-A remark)",
+       "", "static", ablation_homogeneous,
+       {.nodes = 50000, .estimations = 20}},
+      {"ablation_baselines",
+       "Ablation: Random Tour + naive Inverted Birthday vs Sample&Collide",
+       "", "static", ablation_baselines, {.nodes = 20000, .estimations = 20}},
+      {"ablation_cyclon",
+       "Ablation: no-healing static wiring vs CYCLON-maintained overlay "
+       "under 50% departures",
+       "aggregation", "static", ablation_cyclon_healing, {.nodes = 20000}},
+      {"ablation_delay",
+       "Ablation: estimation delay under a per-hop latency model (paper SV "
+       "conjecture)",
+       "", "static", ablation_delay, {.nodes = 100000, .sc_collisions = 200}},
+      {"ablation_structured",
+       "Ablation: structured-overlay interval density vs the generic schemes",
+       "interval_density", "static", ablation_structured,
+       {.nodes = 100000, .estimations = 20}},
+      {"ablation_polling",
+       "Ablation: flat probabilistic polling vs HopsSampling's graded "
+       "schedule",
+       "flat_polling", "static", ablation_polling,
+       {.nodes = 50000, .estimations = 10}},
+      {"ablation_samplers",
+       "Ablation: T-walk vs Metropolis-Hastings vs naive walk sampling "
+       "uniformity",
+       "", "static", ablation_samplers, {.nodes = 2000}},
+      {"ablation_oscillating",
+       "Extension: flash-crowd oscillation tracking (S&C vs Aggregation)",
+       "sample_collide", "oscillating", ablation_oscillating,
+       {.nodes = 50000, .estimations = 100, .sc_collisions = 100,
+        .agg_rounds = 50}},
+  };
+  return specs;
+}
+
+const FigureSpec* find_figure(std::string_view id) {
+  for (const FigureSpec& spec : figure_specs()) {
+    if (spec.id == id) return &spec;
+  }
+  return nullptr;
+}
+
+FigureReport run_figure(const FigureSpec& spec, const FigureParams& params) {
+  return spec.generate(spec, params);
+}
+
+FigureReport run_figure(std::string_view id, const FigureParams& params) {
+  const FigureSpec* spec = find_figure(id);
+  if (!spec) {
+    std::string known;
+    for (const FigureSpec& candidate : figure_specs()) {
+      if (!known.empty()) known += ", ";
+      known += candidate.id;
+    }
+    throw std::invalid_argument("unknown figure '" + std::string(id) +
+                                "' (known: " + known + ")");
+  }
+  return run_figure(*spec, params);
+}
+
+FigureReport run_matrix(const MatrixOptions& options) {
+  const std::unique_ptr<est::Estimator> proto =
+      est::EstimatorRegistry::global().build(options.estimator);
+  // Validate the scenario before spending time on replicas.
+  (void)scenario::script_by_name(options.scenario, options.params.nodes);
+  FigureReport report = dynamic_tracking(*proto, options.scenario,
+                                         options.params,
+                                         options.rounds_per_unit);
+  const est::EstimatorSpec spec = est::EstimatorSpec::parse(options.estimator);
+  report.id = "matrix_" + spec.name + "_" + options.scenario;
+  report.params = "estimator=" + spec.canonical() +
+                  " scenario=" + options.scenario + " " + report.params;
   return report;
 }
 

@@ -1,11 +1,21 @@
 #pragma once
-// One generator per paper figure/table (see DESIGN.md §5 for the index).
-// Each generator builds the workload at the requested scale (defaults =
-// paper values), runs the algorithm(s) with the paper's parameters and
-// returns a FigureReport ready for printing. The generators are pure
-// functions of their parameters + seed, so every figure is reproducible.
+// Declarative figure/table matrix. Every paper figure, the overhead table
+// and every ablation is one FigureSpec row: an estimator spec (resolved by
+// est::EstimatorRegistry), a scenario name (resolved by
+// scenario::script_by_name), the paper-default FigureParams, and the
+// generic generator family that drives the combination. The bench binaries
+// are one-line table lookups over this table (bench/figure_main.hpp), and
+// `run_matrix` drives ANY registered estimator × scenario × size
+// combination — including pairs the paper never plotted — through the same
+// machinery.
+//
+// Generators are pure functions of (spec, params): every figure is
+// reproducible bit-for-bit from its seed at any thread count.
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "p2pse/harness/report.hpp"
 
@@ -26,91 +36,46 @@ struct FigureParams {
                             ///< Output is byte-identical at any value.
 };
 
-// --- static setting (§IV-C) -------------------------------------------------
-/// Figs 1, 2, 18: Sample&Collide oneShot + lastK quality on the
-/// heterogeneous random graph. Fig 1: nodes=1e5, l=200; Fig 2: nodes=1e6,
-/// estimations=18; Fig 18: l=10, estimations=50.
-[[nodiscard]] FigureReport fig_sc_static(const FigureParams& params);
-
-/// Figs 3, 4: HopsSampling oneShot + lastK quality. Fig 3: 1e5/100;
-/// Fig 4: 1e6/20.
-[[nodiscard]] FigureReport fig_hs_static(const FigureParams& params);
-
-/// Figs 5, 6: Aggregation quality vs round (3 independent estimations).
-/// `estimations` is reused as the number of rounds plotted (paper: 100).
-[[nodiscard]] FigureReport fig_agg_static(const FigureParams& params);
-
-/// Fig 7: Barabási–Albert degree distribution (log-log).
-[[nodiscard]] FigureReport fig_scale_free_degrees(const FigureParams& params);
-
-/// Fig 8: the three algorithms on the scale-free graph.
-[[nodiscard]] FigureReport fig_scale_free_compare(const FigureParams& params);
-
-// --- dynamic setting (§IV-D) ------------------------------------------------
-enum class DynamicKind { kCatastrophic, kGrowing, kShrinking };
-
-/// Figs 9-11: Sample&Collide oneShot under churn (3 replicas + truth).
-[[nodiscard]] FigureReport fig_sc_dynamic(DynamicKind kind,
-                                          const FigureParams& params);
-
-/// Figs 12-14: HopsSampling lastK under churn.
-[[nodiscard]] FigureReport fig_hs_dynamic(DynamicKind kind,
-                                          const FigureParams& params);
-
-/// Figs 15-17: Aggregation (50-round epochs, 10 rounds/time-unit) under churn.
-[[nodiscard]] FigureReport fig_agg_dynamic(DynamicKind kind,
+struct FigureSpec;
+using FigureGeneratorFn = FigureReport (*)(const FigureSpec& spec,
                                            const FigureParams& params);
 
-// --- overheads (§IV-E) ------------------------------------------------------
-/// Table I: accuracy vs overhead of the four configurations on one overlay.
-/// `estimations` is the number of runs used to average accuracy/cost.
-[[nodiscard]] FigureReport table1_overhead(const FigureParams& params);
+/// One row of the figure matrix.
+struct FigureSpec {
+  std::string_view id;         ///< table key, e.g. "fig01" or "ablation_delay"
+  std::string_view what;       ///< one-line description (binary --help)
+  std::string_view estimator;  ///< est::EstimatorRegistry spec ("" = n/a)
+  std::string_view scenario;   ///< scenario::script_by_name key ("" = n/a)
+  FigureGeneratorFn generate = nullptr;
+  FigureParams defaults{};     ///< the paper's values for this figure
+};
 
-// --- ablations beyond the paper's figures (§V claims) -----------------------
-/// S&C cost scaling in l (paper: l=100 costs 3.27x l=10; l=200 1.40x l=100).
-[[nodiscard]] FigureReport ablation_sc_l_sweep(const FigureParams& params);
+/// The full figure/table/ablation matrix, in paper order.
+[[nodiscard]] const std::vector<FigureSpec>& figure_specs();
 
-/// Sampling bias vs T: chi-square uniformity of the T-walk sampler.
-[[nodiscard]] FigureReport ablation_sc_timer_sweep(const FigureParams& params);
+/// Looks a spec up by id; nullptr when absent.
+[[nodiscard]] const FigureSpec* find_figure(std::string_view id);
 
-/// HopsSampling with oracle BFS distances (§V: "the resulting size
-/// estimation was correct") vs the gossip spread, plus reach statistics.
-[[nodiscard]] FigureReport ablation_hs_oracle(const FigureParams& params);
+/// Runs one spec at the given scale (params, not spec.defaults, decide the
+/// scale — binaries overlay CLI flags onto spec.defaults first).
+[[nodiscard]] FigureReport run_figure(const FigureSpec& spec,
+                                      const FigureParams& params);
 
-/// Quadratic vs maximum-likelihood collision estimators.
-[[nodiscard]] FigureReport ablation_estimators(const FigureParams& params);
+/// Convenience: lookup + run. Throws std::invalid_argument listing the
+/// known ids when `id` is not in the table.
+[[nodiscard]] FigureReport run_figure(std::string_view id,
+                                      const FigureParams& params);
 
-/// Homogeneous vs heterogeneous overlays ("consistently improved all
-/// algorithms").
-[[nodiscard]] FigureReport ablation_homogeneous(const FigureParams& params);
+/// Free-form estimator × scenario × size combination (the `p2pse_matrix`
+/// driver). Any registered estimator spec crossed with any named scenario,
+/// fanned over params.replicas deterministic replicas.
+struct MatrixOptions {
+  std::string estimator = "sample_collide";  ///< registry spec text
+  std::string scenario = "static";           ///< scenario name
+  double rounds_per_unit = 10.0;  ///< epoch-mode gossip pacing
+  FigureParams params{};
+};
 
-/// Random Tour and naive Inverted-Birthday baselines vs Sample&Collide.
-[[nodiscard]] FigureReport ablation_baselines(const FigureParams& params);
-
-/// Static no-healing wiring vs a CYCLON-maintained (self-healing) overlay
-/// under heavy departures: connectivity and Aggregation accuracy.
-[[nodiscard]] FigureReport ablation_cyclon_healing(const FigureParams& params);
-
-/// The §V delay conjecture: wall-clock estimation delay of the three
-/// algorithms under a per-hop latency model.
-[[nodiscard]] FigureReport ablation_delay(const FigureParams& params);
-
-/// Structured-overlay interval-density estimation vs the generic schemes
-/// (the comparison [17] ran, and the reason the paper scopes itself to
-/// topology-agnostic algorithms).
-[[nodiscard]] FigureReport ablation_structured(const FigureParams& params);
-
-/// Flat probabilistic polling [2],[6] vs HopsSampling's distance-graded
-/// reporting: reply volume and accuracy.
-[[nodiscard]] FigureReport ablation_polling(const FigureParams& params);
-
-/// Sampler shoot-out: Sample&Collide's T-walk vs Metropolis-Hastings vs the
-/// naive fixed-length simple walk (uniformity chi2/df and cost per sample).
-[[nodiscard]] FigureReport ablation_samplers(const FigureParams& params);
-
-/// Extension scenario: flash-crowd oscillation (repeated +/-25% reversals).
-/// Compares Sample&Collide oneShot vs Aggregation epochs when the trend
-/// keeps flipping — the regime where epoch lag hurts most.
-[[nodiscard]] FigureReport ablation_oscillating(const FigureParams& params);
+[[nodiscard]] FigureReport run_matrix(const MatrixOptions& options);
 
 }  // namespace p2pse::harness

@@ -53,6 +53,28 @@ void print_csv(std::ostream& out, const FigureReport& report) {
   for (const auto& row : report.table_rows) csv.row(row);
 }
 
+void write_csv_file(std::ostream& out, const FigureReport& report) {
+  support::CsvWriter csv(out);
+  if (!report.raw_rows.empty()) {
+    csv.header(report.raw_columns);
+    for (const auto& row : report.raw_rows) csv.row(row);
+    return;
+  }
+  if (!report.series.empty()) {
+    csv.header({"series", "x", "y"});
+    for (const auto& s : report.series) {
+      const std::size_t n = std::min(s.x.size(), s.y.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        csv.row({s.name, support::format_double(s.x[i]),
+                 support::format_double(s.y[i])});
+      }
+    }
+    return;
+  }
+  csv.header(report.table_columns);
+  for (const auto& row : report.table_rows) csv.row(row);
+}
+
 void print_report(std::ostream& out, const FigureReport& report) {
   out << "== " << report.id << ": " << report.title << " ==\n";
   if (!report.params.empty()) out << "   " << report.params << "\n";

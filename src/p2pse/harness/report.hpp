@@ -26,6 +26,12 @@ struct FigureReport {
   /// Table content (used when series is empty).
   std::vector<std::string> table_columns;
   std::vector<std::vector<std::string>> table_rows;
+
+  /// Raw per-replica measurement rows (e.g. replica,time,truth,estimate,
+  /// messages). Never printed with the report; written only by
+  /// write_csv_file for external plotting (--csv PATH).
+  std::vector<std::string> raw_columns;
+  std::vector<std::vector<double>> raw_rows;
 };
 
 /// Renders the full report to `out`.
@@ -33,5 +39,10 @@ void print_report(std::ostream& out, const FigureReport& report);
 
 /// Renders only the CSV block (long format: series,x,y).
 void print_csv(std::ostream& out, const FigureReport& report);
+
+/// Writes the machine-readable data as plain (unprefixed) CSV: the raw
+/// per-replica rows when the generator recorded them, otherwise the same
+/// long-format series/table as print_csv.
+void write_csv_file(std::ostream& out, const FigureReport& report);
 
 }  // namespace p2pse::harness

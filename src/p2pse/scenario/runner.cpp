@@ -1,6 +1,7 @@
 #include "p2pse/scenario/runner.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 namespace p2pse::scenario {
@@ -18,6 +19,22 @@ net::NodeId ScenarioRunner::ensure_initiator(const net::Graph& graph,
                                              support::RngStream& rng) const {
   if (graph.is_alive(current)) return current;
   return graph.random_alive(rng);
+}
+
+Series ScenarioRunner::run(const est::Estimator& prototype,
+                           const RunOptions& options,
+                           std::uint64_t replica) const {
+  const std::unique_ptr<est::Estimator> instance = prototype.clone();
+  if (instance->mode() == est::Estimator::Mode::kPoint) {
+    return run_point(
+        options.estimations,
+        [&instance](sim::Simulator& sim, net::NodeId initiator,
+                    support::RngStream& rng) {
+          return instance->estimate_point(sim, initiator, rng);
+        },
+        replica);
+  }
+  return run_epochs(*instance, options.rounds_per_unit, replica);
 }
 
 Series ScenarioRunner::run_point(std::size_t estimations,
@@ -61,11 +78,16 @@ Series ScenarioRunner::run_point(std::size_t estimations,
   return series;
 }
 
-Series ScenarioRunner::run_aggregation(const est::AggregationConfig& config,
-                                       double rounds_per_unit,
-                                       std::uint64_t replica) const {
+Series ScenarioRunner::run_epochs(est::Estimator& estimator,
+                                  double rounds_per_unit,
+                                  std::uint64_t replica) const {
   if (rounds_per_unit <= 0.0) {
-    throw std::invalid_argument("run_aggregation: rounds_per_unit must be > 0");
+    throw std::invalid_argument("ScenarioRunner: rounds_per_unit must be > 0");
+  }
+  const std::uint32_t rounds_per_epoch = estimator.rounds_per_epoch();
+  if (rounds_per_epoch == 0) {
+    throw std::invalid_argument(std::string(estimator.name()) +
+                                ": rounds_per_epoch must be > 0");
   }
   const support::RngStream root = support::RngStream(seed_).split("replica", replica);
   support::RngStream graph_rng = root.split("graph");
@@ -76,7 +98,6 @@ Series ScenarioRunner::run_aggregation(const est::AggregationConfig& config,
   sim::Simulator sim(factory_(graph_rng), root.split("sim").seed());
   ScenarioCursor cursor(script_, sim.graph(), churn_rng);
 
-  est::Aggregation aggregation(config);
   const auto total_rounds = static_cast<std::uint64_t>(
       std::llround(script_.duration * rounds_per_unit));
   const double unit_per_round = 1.0 / rounds_per_unit;
@@ -84,7 +105,7 @@ Series ScenarioRunner::run_aggregation(const est::AggregationConfig& config,
   Series series;
   net::NodeId initiator = net::kInvalidNode;
   std::uint64_t baseline_msgs = sim.meter().total();
-  std::uint32_t round_in_epoch = config.rounds_per_epoch;  // forces a restart
+  std::uint32_t round_in_epoch = rounds_per_epoch;  // forces a restart
 
   for (std::uint64_t round = 0; round < total_rounds; ++round) {
     const double t = unit_per_round * static_cast<double>(round + 1);
@@ -92,22 +113,22 @@ Series ScenarioRunner::run_aggregation(const est::AggregationConfig& config,
     sim.advance_to(t);
     if (sim.graph().empty()) break;
 
-    if (round_in_epoch >= config.rounds_per_epoch) {
+    if (round_in_epoch >= rounds_per_epoch) {
       initiator = ensure_initiator(sim.graph(), initiator, pick_rng);
-      aggregation.start_epoch(sim, initiator);
+      estimator.start_epoch(sim, initiator, est_rng);
       baseline_msgs = sim.meter().total();
       round_in_epoch = 0;
     }
-    aggregation.run_round(sim, est_rng);
+    estimator.run_round(sim, est_rng);
     ++round_in_epoch;
 
-    if (round_in_epoch == config.rounds_per_epoch) {
+    if (round_in_epoch == rounds_per_epoch) {
       // Epoch complete: read the estimate at the epoch's initiator, or at a
       // random survivor when the initiator died mid-epoch (the estimate is
       // available at every node, §V).
       const net::NodeId reader =
           ensure_initiator(sim.graph(), initiator, pick_rng);
-      est::Estimate e = aggregation.estimate_at(sim, reader);
+      const est::Estimate e = estimator.epoch_estimate(sim, reader);
       SeriesPoint point;
       point.time = t;
       point.truth = static_cast<double>(sim.graph().size());

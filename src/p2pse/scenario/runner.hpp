@@ -1,27 +1,31 @@
 #pragma once
 // Comparative-run driver: binds one overlay replica + one scenario script to
 // an estimator and records the (time, true size, estimate) series the
-// paper's figures plot. Two interaction patterns exist:
+// paper's figures plot. The runner drives the unified est::Estimator
+// interface and dispatches on its mode:
 //
 //  * point estimators (Sample&Collide, HopsSampling, RandomTour, ...) run an
 //    atomic estimation every `interval` time units — churn advances between
 //    estimations, matching the paper's "the monitoring process should sample
 //    continuously" usage;
-//  * Aggregation interleaves churn with gossip *rounds* (rounds_per_unit
-//    rounds per time unit) and produces one estimate per epoch; this is what
-//    exposes the conservative effect under shrinking membership.
+//  * epoch estimators (Aggregation, MultiAggregation) interleave churn with
+//    gossip *rounds* (rounds_per_unit rounds per time unit) and produce one
+//    estimate per epoch; this is what exposes the conservative effect under
+//    shrinking membership.
 //
 // Independent replicas (different seed-derived RNG streams) are fanned out
 // by harness::ParallelReplicaRunner; results are deterministic per
-// (seed, replica) regardless of scheduling.
+// (seed, replica) regardless of scheduling. The estimator prototype is
+// clone()d once per run() call, so stateful estimators (smoothing windows,
+// gossip values) never leak state across replicas.
 
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
-#include "p2pse/est/aggregation.hpp"
 #include "p2pse/est/estimate.hpp"
+#include "p2pse/est/estimator.hpp"
 #include "p2pse/net/graph.hpp"
 #include "p2pse/scenario/timeline.hpp"
 #include "p2pse/sim/simulator.hpp"
@@ -41,7 +45,8 @@ struct SeriesPoint {
 using Series = std::vector<SeriesPoint>;
 
 /// Produces one estimate from the bound simulator. The initiator is chosen
-/// by the runner (re-drawn when the previous one dies).
+/// by the runner (re-drawn when the previous one dies). Lambda-based hook
+/// for ad-hoc studies; registry-built estimators go through run().
 using PointEstimator = std::function<est::Estimate(
     sim::Simulator& sim, net::NodeId initiator, support::RngStream& rng)>;
 
@@ -51,26 +56,37 @@ using GraphFactory = std::function<net::Graph(support::RngStream& rng)>;
 
 class ScenarioRunner {
  public:
+  /// Pacing of one replica run. Point estimators take `estimations` atomic
+  /// samples evenly spaced over the script duration; epoch estimators gossip
+  /// `rounds_per_unit` rounds per time unit, one series point per epoch.
+  struct RunOptions {
+    std::size_t estimations = 100;
+    double rounds_per_unit = 10.0;
+  };
+
   /// `seed` is the root seed; replica r derives graph/estimator/churn
   /// substreams from split("replica", r).
   ScenarioRunner(ScenarioScript script, GraphFactory factory,
                  std::uint64_t seed);
 
-  /// Runs a point estimator `estimations` times, evenly spaced over the
-  /// script duration (first estimation after one interval).
+  /// Unified entry point: clones `prototype` for this replica and drives it
+  /// according to its mode. Deterministic per (seed, replica).
+  [[nodiscard]] Series run(const est::Estimator& prototype,
+                           const RunOptions& options,
+                           std::uint64_t replica = 0) const;
+
+  /// Runs a point-estimator callback `estimations` times, evenly spaced over
+  /// the script duration (first estimation after one interval).
   [[nodiscard]] Series run_point(std::size_t estimations,
                                  const PointEstimator& estimator,
                                  std::uint64_t replica = 0) const;
 
-  /// Runs Aggregation epochs back to back; churn advances between rounds.
-  /// One series point per epoch.
-  [[nodiscard]] Series run_aggregation(const est::AggregationConfig& config,
-                                       double rounds_per_unit,
-                                       std::uint64_t replica = 0) const;
-
   [[nodiscard]] const ScenarioScript& script() const noexcept { return script_; }
 
  private:
+  [[nodiscard]] Series run_epochs(est::Estimator& estimator,
+                                  double rounds_per_unit,
+                                  std::uint64_t replica) const;
   [[nodiscard]] net::NodeId ensure_initiator(const net::Graph& graph,
                                              net::NodeId current,
                                              support::RngStream& rng) const;

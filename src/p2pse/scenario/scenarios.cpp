@@ -1,5 +1,8 @@
 #include "p2pse/scenario/scenarios.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace p2pse::scenario {
 
 ScenarioScript static_script() {
@@ -67,6 +70,50 @@ ScenarioScript oscillating_script(std::size_t initial_nodes,
     script.events.push_back(flip);
   }
   return script;
+}
+
+namespace {
+
+// Single source of truth for the named-scenario axis: scenario_names() and
+// script_by_name() both iterate this table, so the two can never drift.
+struct NamedScenario {
+  std::string_view name;
+  ScenarioScript (*build)(std::size_t initial_nodes);
+};
+
+constexpr NamedScenario kNamedScenarios[] = {
+    {"static", [](std::size_t) { return static_script(); }},
+    {"catastrophic", [](std::size_t n) { return catastrophic_script(n); }},
+    {"growing", [](std::size_t n) { return growing_script(n); }},
+    {"shrinking", [](std::size_t n) { return shrinking_script(n); }},
+    {"oscillating", [](std::size_t n) { return oscillating_script(n); }},
+};
+
+}  // namespace
+
+const std::vector<std::string_view>& scenario_names() {
+  static const std::vector<std::string_view> names = [] {
+    std::vector<std::string_view> out;
+    for (const NamedScenario& scenario : kNamedScenarios) {
+      out.push_back(scenario.name);
+    }
+    return out;
+  }();
+  return names;
+}
+
+ScenarioScript script_by_name(std::string_view name,
+                              std::size_t initial_nodes) {
+  for (const NamedScenario& scenario : kNamedScenarios) {
+    if (scenario.name == name) return scenario.build(initial_nodes);
+  }
+  std::string known;
+  for (const std::string_view candidate : scenario_names()) {
+    if (!known.empty()) known += ", ";
+    known += candidate;
+  }
+  throw std::invalid_argument("unknown scenario '" + std::string(name) +
+                              "' (valid: " + known + ")");
 }
 
 }  // namespace p2pse::scenario

@@ -8,6 +8,8 @@
 //   shrinking    — −50 % via constant departures over the full run.
 
 #include <cstddef>
+#include <string_view>
+#include <vector>
 
 #include "p2pse/scenario/timeline.hpp"
 
@@ -35,5 +37,14 @@ inline constexpr double kScenarioDuration = 1000.0;
 [[nodiscard]] ScenarioScript oscillating_script(std::size_t initial_nodes,
                                                 std::size_t cycles = 4,
                                                 double amplitude = 0.25);
+
+/// Every scenario name `script_by_name` accepts, in canonical order.
+[[nodiscard]] const std::vector<std::string_view>& scenario_names();
+
+/// Builds the named scenario sized for `initial_nodes`. Throws
+/// std::invalid_argument listing the valid names on an unknown name — a
+/// typo'd scenario must never silently fall back to a default.
+[[nodiscard]] ScenarioScript script_by_name(std::string_view name,
+                                            std::size_t initial_nodes);
 
 }  // namespace p2pse::scenario

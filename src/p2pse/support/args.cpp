@@ -46,6 +46,30 @@ bool Args::has(std::string_view name) const {
   return options_.find(name) != options_.end();
 }
 
+void Args::require_known(std::span<const std::string_view> known) const {
+  std::string unknown;
+  for (const auto& [name, value] : options_) {
+    bool found = false;
+    for (const std::string_view candidate : known) found |= (name == candidate);
+    if (!found) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "--" + name;
+    }
+  }
+  if (unknown.empty()) return;
+  std::string valid;
+  for (const std::string_view candidate : known) {
+    if (!valid.empty()) valid += ", ";
+    valid += "--" + std::string(candidate);
+  }
+  throw std::invalid_argument("unknown option(s) " + unknown +
+                              " (valid: " + valid + ")");
+}
+
+void Args::require_known(std::initializer_list<std::string_view> known) const {
+  require_known(std::span<const std::string_view>(known.begin(), known.size()));
+}
+
 std::optional<std::string> Args::raw(std::string_view name) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return std::nullopt;

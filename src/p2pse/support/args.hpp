@@ -3,8 +3,10 @@
 // Supported syntax: --name value, --name=value, --flag (boolean true), --help.
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,6 +20,13 @@ class Args {
   Args(int argc, const char* const* argv);
 
   [[nodiscard]] bool has(std::string_view name) const;
+
+  /// Strict mode: throws std::invalid_argument naming every option that is
+  /// not in `known` and listing the valid flags. Call after construction in
+  /// binaries where a typo'd flag silently falling back to its default would
+  /// corrupt a sweep. --help/-h never need to be listed.
+  void require_known(std::span<const std::string_view> known) const;
+  void require_known(std::initializer_list<std::string_view> known) const;
 
   [[nodiscard]] std::string get_string(std::string_view name,
                                        std::string default_value) const;

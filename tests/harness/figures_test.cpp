@@ -1,11 +1,14 @@
 // Smoke-level reproduction of every figure generator at reduced scale.
 // Full-scale runs live in bench/; these tests assert the generators run,
-// produce non-empty series/tables, and that headline shapes hold.
+// produce non-empty series/tables, and that headline shapes hold. All
+// generators are reached through the declarative spec table (run_figure),
+// exactly as the bench binaries reach them.
 #include "p2pse/harness/figures.hpp"
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 namespace p2pse::harness {
 namespace {
@@ -28,8 +31,29 @@ double series_mean(const support::Series& s) {
   return s.y.empty() ? 0.0 : acc / static_cast<double>(s.y.size());
 }
 
+TEST(FigureSpecs, TableCoversEveryPaperFigureAndAblation) {
+  EXPECT_GE(figure_specs().size(), 31u);
+  for (const auto& spec : figure_specs()) {
+    EXPECT_NE(spec.generate, nullptr) << spec.id;
+    EXPECT_FALSE(spec.what.empty()) << spec.id;
+  }
+  EXPECT_NE(find_figure("fig01"), nullptr);
+  EXPECT_NE(find_figure("fig18"), nullptr);
+  EXPECT_NE(find_figure("table1"), nullptr);
+  EXPECT_EQ(find_figure("fig99"), nullptr);
+}
+
+TEST(FigureSpecs, UnknownIdThrowsListingKnownIds) {
+  try {
+    (void)run_figure("fig99", small_params());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("fig01"), std::string::npos);
+  }
+}
+
 TEST(Figures, ScStaticProducesTwoSeriesNearHundred) {
-  const FigureReport r = fig_sc_static(small_params());
+  const FigureReport r = run_figure("fig01", small_params());
   ASSERT_EQ(r.series.size(), 2u);
   EXPECT_EQ(r.series[0].y.size(), 12u);
   EXPECT_NEAR(series_mean(r.series[0]), 100.0, 30.0);
@@ -37,10 +61,27 @@ TEST(Figures, ScStaticProducesTwoSeriesNearHundred) {
   EXPECT_FALSE(r.notes.empty());
 }
 
+TEST(Figures, ScStaticRecordsRawSeriesForCsvExport) {
+  FigureParams p = small_params();
+  p.estimations = 5;
+  const FigureReport r = run_figure("fig01", p);
+  ASSERT_EQ(r.raw_columns.size(), 6u);
+  EXPECT_EQ(r.raw_columns[0], "replica");
+  EXPECT_EQ(r.raw_columns[5], "valid");
+  // replicas x estimations rows, each
+  // (replica, index, truth, estimate, msgs, valid).
+  EXPECT_EQ(r.raw_rows.size(), p.replicas * p.estimations);
+  for (const auto& row : r.raw_rows) {
+    ASSERT_EQ(row.size(), 6u);
+    EXPECT_GT(row[4], 0.0);  // every estimate costs messages
+    EXPECT_EQ(row[5], 1.0);  // static overlay: every estimate is valid
+  }
+}
+
 TEST(Figures, HsStaticUnderestimates) {
   FigureParams p = small_params();
   p.estimations = 15;
-  const FigureReport r = fig_hs_static(p);
+  const FigureReport r = run_figure("fig03", p);
   ASSERT_EQ(r.series.size(), 2u);
   EXPECT_LT(series_mean(r.series[0]), 105.0);
   EXPECT_GT(series_mean(r.series[0]), 40.0);
@@ -49,7 +90,7 @@ TEST(Figures, HsStaticUnderestimates) {
 TEST(Figures, AggStaticConvergesToHundred) {
   FigureParams p = small_params();
   p.estimations = 60;  // rounds
-  const FigureReport r = fig_agg_static(p);
+  const FigureReport r = run_figure("fig05", p);
   ASSERT_EQ(r.series.size(), p.replicas);
   for (const auto& s : r.series) {
     ASSERT_GE(s.y.size(), 50u);
@@ -59,7 +100,7 @@ TEST(Figures, AggStaticConvergesToHundred) {
 }
 
 TEST(Figures, ScaleFreeDegreesReportsPowerLaw) {
-  const FigureReport r = fig_scale_free_degrees(small_params());
+  const FigureReport r = run_figure("fig07", small_params());
   ASSERT_EQ(r.series.size(), 1u);
   EXPECT_GT(r.series[0].x.size(), 10u);
   EXPECT_TRUE(r.plot.log_x);
@@ -69,7 +110,7 @@ TEST(Figures, ScaleFreeDegreesReportsPowerLaw) {
 TEST(Figures, ScaleFreeCompareHasThreeSeries) {
   FigureParams p = small_params();
   p.estimations = 6;
-  const FigureReport r = fig_scale_free_compare(p);
+  const FigureReport r = run_figure("fig08", p);
   ASSERT_EQ(r.series.size(), 3u);
   for (const auto& s : r.series) EXPECT_EQ(s.y.size(), 6u);
   // Aggregation stays accurate on scale-free graphs.
@@ -79,9 +120,8 @@ TEST(Figures, ScaleFreeCompareHasThreeSeries) {
 TEST(Figures, ScDynamicAllKinds) {
   FigureParams p = small_params();
   p.estimations = 10;
-  for (const auto kind : {DynamicKind::kCatastrophic, DynamicKind::kGrowing,
-                          DynamicKind::kShrinking}) {
-    const FigureReport r = fig_sc_dynamic(kind, p);
+  for (const auto id : {"fig09", "fig10", "fig11"}) {
+    const FigureReport r = run_figure(id, p);
     ASSERT_EQ(r.series.size(), 1u + p.replicas);  // truth + replicas
     EXPECT_EQ(r.series[0].name, "Real network size");
     EXPECT_EQ(r.series[0].y.size(), 10u);
@@ -92,7 +132,7 @@ TEST(Figures, ScDynamicTracksShrinkage) {
   FigureParams p = small_params();
   p.estimations = 10;
   p.replicas = 1;
-  const FigureReport r = fig_sc_dynamic(DynamicKind::kShrinking, p);
+  const FigureReport r = run_figure("fig11", p);
   const auto& truth = r.series[0].y;
   const auto& est = r.series[1].y;
   ASSERT_GE(est.size(), 8u);
@@ -104,7 +144,7 @@ TEST(Figures, ScDynamicTracksShrinkage) {
 TEST(Figures, HsDynamicRuns) {
   FigureParams p = small_params();
   p.estimations = 10;
-  const FigureReport r = fig_hs_dynamic(DynamicKind::kGrowing, p);
+  const FigureReport r = run_figure("fig13", p);
   ASSERT_EQ(r.series.size(), 1u + p.replicas);
   EXPECT_EQ(r.series[1].y.size(), 10u);
 }
@@ -113,7 +153,7 @@ TEST(Figures, AggDynamicRuns) {
   FigureParams p = small_params();
   p.nodes = 1500;
   p.agg_rounds = 25;
-  const FigureReport r = fig_agg_dynamic(DynamicKind::kGrowing, p);
+  const FigureReport r = run_figure("fig16", p);
   ASSERT_EQ(r.series.size(), 1u + p.replicas);
   // 10 rounds/unit * 1000 units / 25 rounds per epoch = 400 epochs.
   EXPECT_GT(r.series[1].y.size(), 100u);
@@ -122,7 +162,7 @@ TEST(Figures, AggDynamicRuns) {
 TEST(Figures, Table1HasFourRows) {
   FigureParams p = small_params();
   p.estimations = 6;
-  const FigureReport r = table1_overhead(p);
+  const FigureReport r = run_figure("table1", p);
   EXPECT_TRUE(r.series.empty());
   ASSERT_EQ(r.table_rows.size(), 4u);
   EXPECT_EQ(r.table_columns.size(), 6u);
@@ -131,7 +171,7 @@ TEST(Figures, Table1HasFourRows) {
 TEST(Figures, AblationLSweepShowsSublinearCost) {
   FigureParams p = small_params();
   p.estimations = 3;
-  const FigureReport r = ablation_sc_l_sweep(p);
+  const FigureReport r = run_figure("ablation_sc_l_sweep", p);
   ASSERT_EQ(r.table_rows.size(), 4u);
   // Cost ratio l=200 vs l=10 must be far below 20x (sqrt scaling).
   const double ratio = std::stod(r.table_rows.back()[3]);
@@ -142,7 +182,7 @@ TEST(Figures, AblationLSweepShowsSublinearCost) {
 TEST(Figures, AblationTimerSweepShowsBiasDecay) {
   FigureParams p = small_params();
   p.nodes = 400;
-  const FigureReport r = ablation_sc_timer_sweep(p);
+  const FigureReport r = run_figure("ablation_sc_timer_sweep", p);
   ASSERT_EQ(r.table_rows.size(), 5u);
   const double chi_small_t = std::stod(r.table_rows.front()[1]);
   const double chi_large_t = std::stod(r.table_rows.back()[1]);
@@ -153,7 +193,7 @@ TEST(Figures, AblationTimerSweepShowsBiasDecay) {
 TEST(Figures, AblationOracleRemovesBias) {
   FigureParams p = small_params();
   p.estimations = 10;
-  const FigureReport r = ablation_hs_oracle(p);
+  const FigureReport r = run_figure("ablation_hs_oracle", p);
   ASSERT_EQ(r.table_rows.size(), 2u);
   const double gossip_err = std::stod(r.table_rows[0][1]);
   const double oracle_err = std::stod(r.table_rows[1][1]);
@@ -165,7 +205,7 @@ TEST(Figures, AblationOracleRemovesBias) {
 TEST(Figures, AblationEstimatorsProducesBothRows) {
   FigureParams p = small_params();
   p.estimations = 4;
-  const FigureReport r = ablation_estimators(p);
+  const FigureReport r = run_figure("ablation_estimators", p);
   ASSERT_EQ(r.table_rows.size(), 2u);
   EXPECT_EQ(r.table_rows[0][0], "quadratic");
   EXPECT_EQ(r.table_rows[1][0], "MLE");
@@ -174,7 +214,7 @@ TEST(Figures, AblationEstimatorsProducesBothRows) {
 TEST(Figures, AblationHomogeneousCoversBothOverlays) {
   FigureParams p = small_params();
   p.estimations = 4;
-  const FigureReport r = ablation_homogeneous(p);
+  const FigureReport r = run_figure("ablation_homogeneous", p);
   ASSERT_EQ(r.table_rows.size(), 6u);  // 2 overlays x 3 algorithms
 }
 
@@ -182,13 +222,13 @@ TEST(Figures, AblationBaselinesCoversBothGraphs) {
   FigureParams p = small_params();
   p.nodes = 1500;
   p.estimations = 4;
-  const FigureReport r = ablation_baselines(p);
+  const FigureReport r = run_figure("ablation_baselines", p);
   ASSERT_EQ(r.table_rows.size(), 6u);  // 2 graphs x 3 algorithms
 }
 
 TEST(Figures, AblationCyclonShowsHealing) {
   FigureParams p = small_params();
-  const FigureReport r = ablation_cyclon_healing(p);
+  const FigureReport r = run_figure("ablation_cyclon", p);
   ASSERT_EQ(r.table_rows.size(), 2u);
   const double static_largest = std::stod(r.table_rows[0][1]);
   const double cyclon_largest = std::stod(r.table_rows[1][1]);
@@ -201,7 +241,7 @@ TEST(Figures, AblationCyclonShowsHealing) {
 TEST(Figures, AblationDelayRanksHopsSamplingFirst) {
   FigureParams p = small_params();
   p.sc_collisions = 20;
-  const FigureReport r = ablation_delay(p);
+  const FigureReport r = run_figure("ablation_delay", p);
   ASSERT_EQ(r.table_rows.size(), 3u);
   const double hs = std::stod(r.table_rows[0][1]);
   const double agg = std::stod(r.table_rows[1][1]);
@@ -213,7 +253,7 @@ TEST(Figures, AblationDelayRanksHopsSamplingFirst) {
 TEST(Figures, AblationStructuredIsCheapest) {
   FigureParams p = small_params();
   p.estimations = 6;
-  const FigureReport r = ablation_structured(p);
+  const FigureReport r = run_figure("ablation_structured", p);
   ASSERT_EQ(r.table_rows.size(), 3u);
   EXPECT_EQ(r.table_rows[0][1], "structured overlays only");
 }
@@ -221,7 +261,7 @@ TEST(Figures, AblationStructuredIsCheapest) {
 TEST(Figures, AblationPollingShowsReplyImplosion) {
   FigureParams p = small_params();
   p.estimations = 4;
-  const FigureReport r = ablation_polling(p);
+  const FigureReport r = run_figure("ablation_polling", p);
   ASSERT_EQ(r.table_rows.size(), 4u);
   // Flat p=0.25 replies >> HopsSampling replies.
   EXPECT_GT(std::stod(r.table_rows[2][3]), std::stod(r.table_rows[3][3]));
@@ -230,7 +270,7 @@ TEST(Figures, AblationPollingShowsReplyImplosion) {
 TEST(Figures, AblationSamplersOrdersUniformity) {
   FigureParams p = small_params();
   p.nodes = 600;
-  const FigureReport r = ablation_samplers(p);
+  const FigureReport r = run_figure("ablation_samplers", p);
   ASSERT_EQ(r.table_rows.size(), 3u);
   const double twalk = std::stod(r.table_rows[0][1]);
   const double naive = std::stod(r.table_rows[2][1]);
@@ -244,7 +284,7 @@ TEST(Figures, AblationOscillatingTracksBothAlgorithms) {
   p.estimations = 20;
   p.sc_collisions = 30;
   p.agg_rounds = 30;
-  const FigureReport r = ablation_oscillating(p);
+  const FigureReport r = run_figure("ablation_oscillating", p);
   ASSERT_EQ(r.series.size(), 3u);
   EXPECT_EQ(r.series[0].name, "Real network size");
   EXPECT_EQ(r.series[0].y.size(), 20u);
@@ -255,8 +295,8 @@ TEST(Figures, ReportsPrintWithoutCrashing) {
   FigureParams p = small_params();
   p.estimations = 4;
   std::ostringstream out;
-  print_report(out, fig_sc_static(p));
-  print_report(out, table1_overhead(p));
+  print_report(out, run_figure("fig01", p));
+  print_report(out, run_figure("table1", p));
   EXPECT_GT(out.str().size(), 200u);
 }
 

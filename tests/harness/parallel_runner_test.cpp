@@ -84,34 +84,32 @@ FigureParams report_params(std::size_t threads) {
 }
 
 TEST(ParallelFigures, ScStaticReportIdenticalAt1And2And8Threads) {
-  const std::string baseline = render(fig_sc_static(report_params(1)));
-  EXPECT_EQ(render(fig_sc_static(report_params(2))), baseline);
-  EXPECT_EQ(render(fig_sc_static(report_params(8))), baseline);
+  const std::string baseline = render(run_figure("fig01", report_params(1)));
+  EXPECT_EQ(render(run_figure("fig01", report_params(2))), baseline);
+  EXPECT_EQ(render(run_figure("fig01", report_params(8))), baseline);
 }
 
 TEST(ParallelFigures, HsStaticReportIdenticalAt1And2And8Threads) {
-  const std::string baseline = render(fig_hs_static(report_params(1)));
-  EXPECT_EQ(render(fig_hs_static(report_params(2))), baseline);
-  EXPECT_EQ(render(fig_hs_static(report_params(8))), baseline);
+  const std::string baseline = render(run_figure("fig03", report_params(1)));
+  EXPECT_EQ(render(run_figure("fig03", report_params(2))), baseline);
+  EXPECT_EQ(render(run_figure("fig03", report_params(8))), baseline);
 }
 
 TEST(ParallelFigures, AggStaticReportIdenticalAt1And2And8Threads) {
   FigureParams p = report_params(1);
   p.estimations = 30;  // rounds
   p.replicas = 3;
-  const std::string baseline = render(fig_agg_static(p));
+  const std::string baseline = render(run_figure("fig05", p));
   p.threads = 2;
-  EXPECT_EQ(render(fig_agg_static(p)), baseline);
+  EXPECT_EQ(render(run_figure("fig05", p)), baseline);
   p.threads = 8;
-  EXPECT_EQ(render(fig_agg_static(p)), baseline);
+  EXPECT_EQ(render(run_figure("fig05", p)), baseline);
 }
 
 TEST(ParallelFigures, ScDynamicReportIdenticalAt1And2And8Threads) {
   FigureParams p = report_params(1);
   p.replicas = 4;
-  const auto generate = [&] {
-    return render(fig_sc_dynamic(DynamicKind::kShrinking, p));
-  };
+  const auto generate = [&] { return render(run_figure("fig11", p)); };
   const std::string baseline = generate();
   p.threads = 2;
   EXPECT_EQ(generate(), baseline);
@@ -119,21 +117,39 @@ TEST(ParallelFigures, ScDynamicReportIdenticalAt1And2And8Threads) {
   EXPECT_EQ(generate(), baseline);
 }
 
+TEST(ParallelFigures, MatrixReportIdenticalAcrossThreadCounts) {
+  MatrixOptions options;
+  options.estimator = "random_tour";
+  options.scenario = "oscillating";
+  options.params = report_params(1);
+  options.params.estimations = 4;
+  const auto generate = [&] {
+    std::ostringstream out;
+    print_report(out, run_matrix(options));
+    return out.str();
+  };
+  const std::string baseline = generate();
+  options.params.threads = 2;
+  EXPECT_EQ(generate(), baseline);
+  options.params.threads = 8;
+  EXPECT_EQ(generate(), baseline);
+}
+
 TEST(ParallelFigures, LSweepReportIdenticalAcrossThreadCounts) {
   FigureParams p = report_params(1);
   p.estimations = 3;
-  const std::string baseline = render(ablation_sc_l_sweep(p));
+  const std::string baseline = render(run_figure("ablation_sc_l_sweep", p));
   p.threads = 4;
-  EXPECT_EQ(render(ablation_sc_l_sweep(p)), baseline);
+  EXPECT_EQ(render(run_figure("ablation_sc_l_sweep", p)), baseline);
 }
 
 TEST(ParallelFigures, StaticReplicaZeroMatchesSingleReplicaSeries) {
   // The plotted curves are replica #1; shrinking the replica count must not
   // change them, only the cross-replica aggregate notes.
   FigureParams p = report_params(1);
-  const FigureReport many = fig_sc_static(p);
+  const FigureReport many = run_figure("fig01", p);
   p.replicas = 1;
-  const FigureReport one = fig_sc_static(p);
+  const FigureReport one = run_figure("fig01", p);
   ASSERT_EQ(many.series.size(), 2u);
   ASSERT_EQ(one.series.size(), 2u);
   EXPECT_EQ(many.series[0].y, one.series[0].y);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "p2pse/est/aggregation.hpp"
+#include "p2pse/est/estimator.hpp"
 #include "p2pse/est/hops_sampling.hpp"
 #include "p2pse/est/sample_collide.hpp"
 #include "p2pse/est/smoothing.hpp"
@@ -167,11 +168,13 @@ TEST(Comparative, AggregationFailsUnderHeavyDeparturesButTracksGrowth) {
   const auto factory = [](support::RngStream& rng) {
     return net::build_heterogeneous_random({5000, 1, 10}, rng);
   };
-  const est::AggregationConfig config{.rounds_per_epoch = 50};
+  const est::AggregationEstimator agg({.rounds_per_epoch = 50});
+  const scenario::ScenarioRunner::RunOptions epochs{.estimations = 0,
+                                                    .rounds_per_unit = 1.0};
 
   const scenario::ScenarioRunner growing(scenario::growing_script(5000),
                                          factory, kSeed);
-  const scenario::Series grow_series = growing.run_aggregation(config, 1.0, 0);
+  const scenario::Series grow_series = growing.run(agg, epochs, 0);
   ASSERT_FALSE(grow_series.empty());
   support::RunningStats grow_err;
   for (const auto& p : grow_series) {
@@ -181,8 +184,7 @@ TEST(Comparative, AggregationFailsUnderHeavyDeparturesButTracksGrowth) {
 
   const scenario::ScenarioRunner shrinking(scenario::shrinking_script(5000),
                                            factory, kSeed);
-  const scenario::Series shrink_series =
-      shrinking.run_aggregation(config, 1.0, 0);
+  const scenario::Series shrink_series = shrinking.run(agg, epochs, 0);
   ASSERT_FALSE(shrink_series.empty());
   // Late epochs (>=30% departed) show larger error than early epochs.
   support::RunningStats early_err, late_err;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "p2pse/est/estimator.hpp"
+#include "p2pse/est/registry.hpp"
 #include "p2pse/est/sample_collide.hpp"
 #include "p2pse/harness/parallel_runner.hpp"
 #include "p2pse/net/builders.hpp"
@@ -104,11 +106,36 @@ TEST(ScenarioRunner, ParallelReplicasPreserveOrderAndDeterminism) {
   }
 }
 
+TEST(ScenarioRunner, UnifiedRunMatchesRunPointForPointEstimators) {
+  // run(prototype) must consume the exact same RNG streams as the
+  // lambda-based hook: the series are bit-identical.
+  const ScenarioRunner runner(growing_script(1000), factory(1000), 12);
+  const est::SampleCollideEstimator proto({.timer = 10.0, .collisions = 10});
+  const Series unified = runner.run(proto, {.estimations = 8}, 1);
+  const Series lambda = runner.run_point(8, sample_collide_estimator(10), 1);
+  ASSERT_EQ(unified.size(), lambda.size());
+  for (std::size_t i = 0; i < unified.size(); ++i) {
+    EXPECT_DOUBLE_EQ(unified[i].estimate, lambda[i].estimate);
+    EXPECT_DOUBLE_EQ(unified[i].truth, lambda[i].truth);
+    EXPECT_EQ(unified[i].messages, lambda[i].messages);
+  }
+}
+
+TEST(ScenarioRunner, UnifiedRunDrivesRegistryBuiltEstimators) {
+  const ScenarioRunner runner(static_script(), factory(800), 13);
+  const auto proto =
+      est::EstimatorRegistry::global().build("sample_collide:l=5,T=2");
+  const Series series = runner.run(*proto, {.estimations = 5}, 0);
+  ASSERT_EQ(series.size(), 5u);
+  for (const auto& p : series) EXPECT_TRUE(p.valid);
+}
+
 TEST(ScenarioRunner, AggregationSeriesOnePointPerEpoch) {
   const ScenarioRunner runner(static_script(), factory(1000), 8);
   // 1 round per unit, epoch = 50 rounds, duration 1000 -> 20 epochs.
+  const est::AggregationEstimator agg({.rounds_per_epoch = 50});
   const Series series =
-      runner.run_aggregation({.rounds_per_epoch = 50}, 1.0, 0);
+      runner.run(agg, {.estimations = 0, .rounds_per_unit = 1.0}, 0);
   ASSERT_EQ(series.size(), 20u);
   for (const auto& p : series) {
     EXPECT_TRUE(p.valid);
@@ -119,21 +146,36 @@ TEST(ScenarioRunner, AggregationSeriesOnePointPerEpoch) {
   }
 }
 
-TEST(ScenarioRunner, AggregationRejectsNonPositiveRate) {
+TEST(ScenarioRunner, EpochModeRejectsNonPositiveRate) {
   const ScenarioRunner runner(static_script(), factory(100), 9);
-  EXPECT_THROW((void)runner.run_aggregation({.rounds_per_epoch = 10}, 0.0),
-               std::invalid_argument);
+  const est::AggregationEstimator agg({.rounds_per_epoch = 10});
+  EXPECT_THROW(
+      (void)runner.run(agg, {.estimations = 0, .rounds_per_unit = 0.0}, 0),
+      std::invalid_argument);
 }
 
 TEST(ScenarioRunner, AggregationTracksGrowth) {
   const ScenarioRunner runner(growing_script(1000), factory(1000), 10);
+  const est::AggregationEstimator agg({.rounds_per_epoch = 50});
   const Series series =
-      runner.run_aggregation({.rounds_per_epoch = 50}, 1.0, 0);
+      runner.run(agg, {.estimations = 0, .rounds_per_unit = 1.0}, 0);
   ASSERT_FALSE(series.empty());
   // Later epochs must see a larger network than early epochs.
   EXPECT_GT(series.back().estimate, series.front().estimate * 1.2);
   EXPECT_NEAR(series.back().estimate, series.back().truth,
               0.15 * series.back().truth);
+}
+
+TEST(ScenarioRunner, WrongModeCallsThrowLogicError) {
+  est::AggregationEstimator epoch_only({.rounds_per_epoch = 10});
+  est::SampleCollideEstimator point_only({.timer = 1.0, .collisions = 5});
+  support::RngStream rng(1);
+  sim::Simulator sim(net::build_heterogeneous_random({50, 1, 4}, rng), 2);
+  EXPECT_THROW((void)epoch_only.estimate_point(sim, 0, rng),
+               std::logic_error);
+  EXPECT_THROW(point_only.start_epoch(sim, 0, rng), std::logic_error);
+  EXPECT_THROW(point_only.run_round(sim, rng), std::logic_error);
+  EXPECT_THROW((void)point_only.epoch_estimate(sim, 0), std::logic_error);
 }
 
 TEST(ScenarioRunner, SurvivesExtinctionScenario) {

@@ -121,5 +121,42 @@ TEST(Args, ThreadsZeroMeansAuto) {
   EXPECT_EQ(args.get_uint("threads", 4), 0u);
 }
 
+TEST(Args, RequireKnownAcceptsListedFlags) {
+  const Args args = make_args({"fig01", "--nodes", "100", "--seed=7"});
+  EXPECT_NO_THROW(args.require_known({"nodes", "seed", "threads"}));
+}
+
+TEST(Args, RequireKnownRejectsTypoedFlagListingValidNames) {
+  // The motivating bug: "--node" (typo) used to silently fall back to the
+  // default overlay size and corrupt sweeps.
+  const Args args = make_args({"fig01", "--node", "100", "--seed=7"});
+  try {
+    args.require_known({"nodes", "seed"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--node"), std::string::npos);
+    EXPECT_NE(what.find("--nodes"), std::string::npos);
+    EXPECT_NE(what.find("--seed"), std::string::npos);
+  }
+}
+
+TEST(Args, RequireKnownIgnoresHelpAndPositionals) {
+  const Args args = make_args({"fig01", "positional", "--help"});
+  EXPECT_NO_THROW(args.require_known({"nodes"}));
+}
+
+TEST(Args, RequireKnownReportsEveryUnknownFlag) {
+  const Args args = make_args({"fig01", "--alpha=1", "--beta=2"});
+  try {
+    args.require_known({"nodes"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--alpha"), std::string::npos);
+    EXPECT_NE(what.find("--beta"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace p2pse::support
