@@ -1,0 +1,7 @@
+// Extension figure: HopsSampling tracking a diurnal (sine-modulated)
+// arrival workload (trace:diurnal). See figure_specs() row "trace_diurnal".
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return p2pse::harness::figure_main(argc, argv, "trace_diurnal");
+}

@@ -1,0 +1,7 @@
+// Extension figure: Aggregation epochs through a flash crowd followed by a
+// mass exodus (trace:flashcrowd). See figure_specs() row "trace_flashcrowd".
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return p2pse::harness::figure_main(argc, argv, "trace_flashcrowd");
+}

@@ -1,0 +1,7 @@
+// Extension figure: Sample&Collide tracking a heavy-tailed Weibull session
+// workload (trace:weibull). See harness::figure_specs() row "trace_weibull".
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return p2pse::harness::figure_main(argc, argv, "trace_weibull");
+}

@@ -1,6 +1,19 @@
 // google-benchmark microbenchmarks for the performance-critical substrate
-// operations: graph construction, walk steps, gossip rounds, churn.
+// operations: graph construction, walk steps, gossip rounds, churn, and
+// trace generation/replay.
+//
+// Besides the console table, every run writes a machine-readable
+// BENCH_micro.json ({"benchmark name": ns_per_op, ...}) — the artifact CI
+// uploads so the perf trajectory across PRs is diffable. Override the path
+// with --bench-json PATH; all other flags pass through to Google Benchmark.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "p2pse/est/aggregation.hpp"
 #include "p2pse/est/hops_sampling.hpp"
@@ -10,6 +23,8 @@
 #include "p2pse/net/churn.hpp"
 #include "p2pse/net/cyclon.hpp"
 #include "p2pse/sim/simulator.hpp"
+#include "p2pse/trace/cursor.hpp"
+#include "p2pse/trace/generators.hpp"
 
 namespace {
 
@@ -136,6 +151,119 @@ void BM_BfsDistances(benchmark::State& state) {
 }
 BENCHMARK(BM_BfsDistances);
 
+void BM_TraceGenerateWeibull(benchmark::State& state) {
+  trace::SessionWorkloadConfig config;
+  config.initial_sessions = static_cast<std::uint64_t>(state.range(0));
+  config.duration = 1000.0;
+  config.lifetime.law = trace::Lifetime::Law::kWeibull;
+  config.lifetime.shape = 0.5;
+  config.lifetime.scale = 50.0;
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const trace::ChurnTrace t =
+        trace::generate_sessions(config, support::RngStream(42));
+    benchmark::DoNotOptimize(t.events.data());
+    events += t.events.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_TraceGenerateWeibull)->Arg(10000)->Arg(100000);
+
+void BM_TraceReplay(benchmark::State& state) {
+  trace::SessionWorkloadConfig config;
+  config.initial_sessions = static_cast<std::uint64_t>(state.range(0));
+  config.duration = 1000.0;
+  const trace::ChurnTrace t =
+      trace::generate_sessions(config, support::RngStream(42));
+  support::RngStream build_rng(43);
+  const net::Graph base = net::build_heterogeneous_random(
+      {static_cast<std::size_t>(config.initial_sessions), 1, 10}, build_rng);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    net::Graph g = base;  // fresh overlay per replay (copy, not rebuild)
+    trace::TraceCursor cursor(t, g, {}, support::RngStream(44));
+    cursor.advance_to(t.duration);
+    benchmark::DoNotOptimize(g.size());
+    events += t.events.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_TraceReplay)->Arg(10000)->Arg(50000);
+
+/// Console output plus a (name -> ns/op) capture for BENCH_micro.json.
+/// With --benchmark_repetitions the "mean" aggregate wins over individual
+/// repetitions, so the artifact records the stable statistic.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type == Run::RT_Aggregate) {
+        if (run.aggregate_name != "mean") continue;
+        const std::string name = run.run_name.str();
+        ns_per_op_[name] = run.GetAdjustedRealTime();
+        from_aggregate_.insert(name);
+      } else if (!from_aggregate_.contains(run.benchmark_name())) {
+        ns_per_op_[run.benchmark_name()] = run.GetAdjustedRealTime();
+      }
+    }
+  }
+
+  /// Writes {"name": ns_per_op, ...}; returns false on I/O failure.
+  [[nodiscard]] bool write_json(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n";
+    bool first = true;
+    for (const auto& [name, ns] : ns_per_op_) {
+      if (!first) out << ",\n";
+      first = false;
+      std::string escaped;
+      for (const char c : name) {
+        if (c == '"' || c == '\\') escaped += '\\';
+        escaped += c;
+      }
+      out << "  \"" << escaped << "\": " << ns;
+    }
+    out << "\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::map<std::string, double> ns_per_op_;
+  std::set<std::string> from_aggregate_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract our own --bench-json flag before Google Benchmark sees the
+  // command line (it hard-errors on flags it does not know).
+  std::string json_path = "BENCH_micro.json";
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--bench-json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.substr(0, 13) == "--bench-json=") {
+      json_path = std::string(arg.substr(13));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!reporter.write_json(json_path)) {
+    std::fprintf(stderr, "micro_benchmarks: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -5,8 +5,10 @@
 // the report is byte-identical at any --threads value.
 //
 //   p2pse_matrix --estimator sample_collide:l=50 --scenario oscillating
-//   p2pse_matrix --estimator aggregation_suite:instances=16 \
+//   p2pse_matrix --estimator aggregation_suite:instances=16
 //                --scenario shrinking --nodes 50000 --rounds-per-unit 5
+//   p2pse_matrix --estimator random_tour --scenario trace:weibull,shape=0.5
+//   p2pse_matrix --scenario trace:file=ipfs_sessions.csv --csv replay.csv
 //   p2pse_matrix --list
 #include <cstdio>
 #include <exception>
@@ -17,6 +19,7 @@
 #include "p2pse/est/registry.hpp"
 #include "p2pse/scenario/scenarios.hpp"
 #include "p2pse/support/csv.hpp"
+#include "p2pse/trace/workloads.hpp"
 
 namespace {
 
@@ -32,6 +35,14 @@ void print_matrix_axes() {
     std::printf(" %s", std::string(name).c_str());
   }
   std::printf("\n");
+  std::printf(
+      "trace workloads (--scenario trace:MODEL[,key=value,...]):\n");
+  for (const auto& model : p2pse::trace::trace_model_infos()) {
+    std::printf("  trace:%-14s keys: %s\n      %s\n",
+                std::string(model.name).c_str(),
+                std::string(model.keys).c_str(),
+                std::string(model.what).c_str());
+  }
 }
 
 }  // namespace
@@ -42,11 +53,14 @@ int main(int argc, char** argv) {
     const support::Args args(argc, argv);
     if (args.help_requested()) {
       std::printf(
-          "%s — run any estimator x scenario x size combination\n"
+          "%s — run any estimator x workload x size combination\n"
           "options:\n"
           "  --estimator SPEC     registry spec, e.g. sample_collide:l=10,T=2\n"
           "  --scenario NAME      static|catastrophic|growing|shrinking|"
-          "oscillating\n"
+          "oscillating,\n"
+          "                       or a trace workload: trace:MODEL[,k=v,...]\n"
+          "                       (weibull, pareto, exponential, diurnal,\n"
+          "                       flashcrowd, file=PATH; see --list)\n"
           "  --nodes N            initial overlay size (default 10000)\n"
           "  --estimations E      point-mode samples over the run (default "
           "100)\n"
@@ -57,8 +71,8 @@ int main(int argc, char** argv) {
           "  --l/--T/--agg-rounds/--last-k  paper-parameter shorthands\n"
           "  --csv PATH           write per-replica "
           "(time,truth,estimate,messages,valid) CSV\n"
-          "  --list               print every estimator (with override keys) "
-          "and scenario\n",
+          "  --list               print every estimator, scenario, and trace "
+          "model with keys\n",
           argv[0]);
       return 0;
     }

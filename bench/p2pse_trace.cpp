@@ -1,0 +1,220 @@
+// p2pse_trace — synthesize, inspect, and replay churn traces.
+//
+//   p2pse_trace synth weibull,shape=0.5 --nodes 10000 --out sessions.csv
+//   p2pse_trace info sessions.csv
+//   p2pse_trace replay sessions.csv --estimator sample_collide:l=50
+//   p2pse_trace replay --workload trace:diurnal,amplitude=0.8 --nodes 5000
+//   p2pse_trace --list
+//
+// `replay` drives the same estimator x workload machinery as p2pse_matrix
+// (harness::run_matrix), so it emits the identical report + per-replica CSV
+// and stays byte-identical at any --threads value.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <span>
+#include <string>
+
+#include "figure_main.hpp"
+#include "p2pse/est/registry.hpp"
+#include "p2pse/scenario/scenarios.hpp"
+#include "p2pse/support/csv.hpp"
+#include "p2pse/trace/trace.hpp"
+#include "p2pse/trace/workloads.hpp"
+
+namespace {
+
+using namespace p2pse;
+
+void print_axes() {
+  std::printf("trace models (synth MODEL[,key=value,...] / "
+              "--scenario trace:MODEL...):\n");
+  for (const auto& model : trace::trace_model_infos()) {
+    std::printf("  %-14s keys: %s\n      %s\n",
+                std::string(model.name).c_str(),
+                std::string(model.keys).c_str(),
+                std::string(model.what).c_str());
+  }
+  const auto& registry = est::EstimatorRegistry::global();
+  std::printf("estimators (replay --estimator NAME[:key=value,...]):\n");
+  for (const auto& name : registry.names()) {
+    std::printf("  %-20s keys: %s\n", name.c_str(),
+                registry.keys_help(name).c_str());
+  }
+  std::printf("scripted scenarios (p2pse_matrix --scenario NAME):\n ");
+  for (const auto name : scenario::scenario_names()) {
+    std::printf(" %s", std::string(name).c_str());
+  }
+  std::printf("\n");
+}
+
+void print_usage(const char* program) {
+  std::printf(
+      "%s — synthesize, inspect, and replay churn traces\n"
+      "commands:\n"
+      "  synth MODEL[,k=v,...]  generate a trace (--nodes N initial "
+      "sessions),\n"
+      "                         write CSV to stdout or --out PATH\n"
+      "  info PATH              validate a trace file and print summary "
+      "stats\n"
+      "  replay PATH            run an estimator against the replayed trace\n"
+      "  replay --workload W    ... or against any workload spec "
+      "(trace:... or\n"
+      "                         a scripted scenario name)\n"
+      "options:\n"
+      "  --nodes N            initial sessions for synth / overlay size "
+      "(default 10000)\n"
+      "  --out PATH           synth: write the trace here instead of stdout\n"
+      "  --estimator SPEC     replay: registry spec (default "
+      "sample_collide)\n"
+      "  --estimations E      replay: point-mode samples (default 100)\n"
+      "  --rounds-per-unit R  replay: epoch-mode gossip pacing (default "
+      "10)\n"
+      "  --replicas R         replay: independent replicas (default 3)\n"
+      "  --seed S             replay: root seed (default 42)\n"
+      "  --threads N          replay: fan-out width, 0 = hardware threads\n"
+      "  --csv PATH           replay: write per-replica series CSV\n"
+      "  --list               print every trace model, estimator, and "
+      "scenario\n",
+      program);
+}
+
+std::string summary_line(const trace::TraceSummary& s) {
+  using support::format_double;
+  std::string out;
+  out += "duration:               " + format_double(s.duration) + "\n";
+  out += "initial sessions:       " + std::to_string(s.initial_sessions) + "\n";
+  out += "join events:            " + std::to_string(s.joins) + "\n";
+  out += "leave events:           " + std::to_string(s.leaves) + "\n";
+  out += "size envelope:          [" + std::to_string(s.min_alive) + ", " +
+         std::to_string(s.max_alive) + "], final " +
+         std::to_string(s.final_alive) + "\n";
+  out += "mean population:        " + format_double(s.mean_alive, 4) + "\n";
+  out += "events per time unit:   " + format_double(s.events_per_unit, 4) +
+         "\n";
+  out += "churn rate (ev/unit/node): " + format_double(s.churn_rate, 6) +
+         "\n";
+  out += "completed sessions:     " + std::to_string(s.completed_sessions) +
+         "\n";
+  out += "mean session length:    " +
+         format_double(s.mean_session_length, 4) + "\n";
+  out += "median session length:  " +
+         format_double(s.median_session_length, 4) + "\n";
+  return out;
+}
+
+int run_synth(const support::Args& args) {
+  if (args.positional().size() < 2) {
+    throw std::invalid_argument("synth requires a model spec, e.g. "
+                                "'synth weibull,shape=0.5' (see --list)");
+  }
+  const std::size_t nodes = args.get_uint("nodes", 10000);
+  const trace::ChurnTrace trace =
+      trace::build_trace(args.positional()[1], nodes);
+  if (args.has("out")) {
+    const std::string path = args.get_string("out", "");
+    if (path.empty() || path == "true") {
+      throw std::invalid_argument("--out requires a PATH value");
+    }
+    trace.save_file(path);
+    std::printf("wrote %zu events to %s\n", trace.events.size(),
+                path.c_str());
+  } else {
+    trace.write_csv(std::cout);
+  }
+  return 0;
+}
+
+int run_info(const support::Args& args) {
+  if (args.positional().size() < 2) {
+    throw std::invalid_argument("info requires a trace file path");
+  }
+  const std::string& path = args.positional()[1];
+  const trace::ChurnTrace trace = trace::ChurnTrace::load_file(path);
+  std::printf("trace:                  %s (%s)\n", path.c_str(),
+              trace.name.c_str());
+  std::printf("%s", summary_line(trace.summarize()).c_str());
+  return 0;
+}
+
+int run_replay(const support::Args& args) {
+  harness::MatrixOptions options;
+  if (args.has("workload")) {
+    if (args.positional().size() >= 2) {
+      throw std::invalid_argument(
+          "replay got both a trace file ('" + args.positional()[1] +
+          "') and --workload; pass exactly one");
+    }
+    options.scenario = args.get_string("workload", "");
+    if (options.scenario.empty() || options.scenario == "true") {
+      throw std::invalid_argument("--workload requires a spec value");
+    }
+  } else if (args.positional().size() >= 2) {
+    options.scenario = "trace:file=" + args.positional()[1];
+  } else {
+    throw std::invalid_argument(
+        "replay requires a trace file path or --workload SPEC");
+  }
+  options.estimator = args.get_string("estimator", "sample_collide");
+  options.rounds_per_unit = args.get_double("rounds-per-unit", 10.0);
+  harness::FigureParams defaults;
+  defaults.nodes = 10000;
+  options.params = harness::figure_params_from_args(args, defaults);
+
+  // The paper-parameter shorthands (--l/--T/--agg-rounds/--last-k) flow
+  // into the spec exactly as in p2pse_matrix; an explicit key in
+  // --estimator wins.
+  est::EstimatorSpec spec = est::EstimatorSpec::parse(options.estimator);
+  if (spec.name == "sample_collide") {
+    spec.set_default("l", std::to_string(options.params.sc_collisions));
+    spec.set_default("T", support::format_double(options.params.sc_timer));
+  } else if (spec.name == "aggregation" ||
+             spec.name == "aggregation_suite") {
+    spec.set_default("rounds", std::to_string(options.params.agg_rounds));
+  } else if (spec.name == "hops_sampling" && args.has("last-k")) {
+    spec.set_default("last_k", std::to_string(options.params.last_k));
+  }
+  options.estimator = spec.canonical();
+
+  const auto csv_path = harness::csv_path_from_args(args);
+  const harness::FigureReport report = harness::run_matrix(options);
+  if (csv_path) harness::write_csv_to_path(report, *csv_path);
+  harness::print_report(std::cout, report);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const support::Args args(argc, argv);
+    if (args.help_requested()) {
+      print_usage(argv[0]);
+      return 0;
+    }
+    static constexpr std::string_view kFlags[] = {
+        "nodes",       "out",      "estimator", "estimations",
+        "rounds-per-unit", "replicas", "seed",  "threads",
+        "csv",         "list",     "workload",  "l",
+        "T",           "agg-rounds", "last-k",
+    };
+    args.require_known(std::span<const std::string_view>(kFlags));
+    if (args.get_bool("list", false)) {
+      print_axes();
+      return 0;
+    }
+    if (args.positional().empty()) {
+      print_usage(argv[0]);
+      return 1;
+    }
+    const std::string& command = args.positional().front();
+    if (command == "synth") return run_synth(args);
+    if (command == "info") return run_info(args);
+    if (command == "replay") return run_replay(args);
+    throw std::invalid_argument("unknown command '" + command +
+                                "' (expected synth, info, or replay)");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: error: %s\n", argv[0], error.what());
+    return 1;
+  }
+}

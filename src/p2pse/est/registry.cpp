@@ -1,75 +1,23 @@
 #include "p2pse/est/registry.hpp"
 
-#include <charconv>
 #include <initializer_list>
 #include <stdexcept>
+
+#include "p2pse/support/spec_reader.hpp"
 
 namespace p2pse::est {
 namespace {
 
 using Overrides = EstimatorRegistry::Overrides;
 
-[[noreturn]] void bad_value(std::string_view name, std::string_view key,
-                            std::string_view expected,
-                            std::string_view value) {
-  throw std::invalid_argument(std::string(name) + ": override '" +
-                              std::string(key) + "' expects " +
-                              std::string(expected) + ", got '" +
-                              std::string(value) + "'");
-}
-
-/// Converts override values on access. Key validation happens once in
-/// EstimatorRegistry::build against the entry's registered key list, so
-/// factories never re-state which keys exist.
-class OverrideReader {
+/// Converts override values on access (shared support::SpecValueReader
+/// machinery). Key validation happens once in EstimatorRegistry::build
+/// against the entry's registered key list, so factories never re-state
+/// which keys exist.
+class OverrideReader : public support::SpecValueReader {
  public:
   OverrideReader(std::string_view name, const Overrides& overrides)
-      : name_(name), overrides_(overrides) {}
-
-  [[nodiscard]] std::uint64_t get_uint(std::string_view key,
-                                       std::uint64_t fallback) const {
-    const std::string* raw = find(key);
-    if (!raw) return fallback;
-    std::uint64_t out = 0;
-    const auto [ptr, ec] =
-        std::from_chars(raw->data(), raw->data() + raw->size(), out);
-    if (ec != std::errc{} || ptr != raw->data() + raw->size()) {
-      bad_value(name_, key, "a non-negative integer", *raw);
-    }
-    return out;
-  }
-
-  [[nodiscard]] double get_double(std::string_view key, double fallback) const {
-    const std::string* raw = find(key);
-    if (!raw) return fallback;
-    try {
-      std::size_t consumed = 0;
-      const double out = std::stod(*raw, &consumed);
-      if (consumed != raw->size()) throw std::invalid_argument("trailing");
-      return out;
-    } catch (const std::exception&) {
-      bad_value(name_, key, "a number", *raw);
-    }
-  }
-
-  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const {
-    const std::string* raw = find(key);
-    if (!raw) return fallback;
-    if (*raw == "true" || *raw == "1" || *raw == "yes") return true;
-    if (*raw == "false" || *raw == "0" || *raw == "no") return false;
-    bad_value(name_, key, "a boolean", *raw);
-  }
-
-  [[nodiscard]] const std::string* find(std::string_view key) const {
-    for (const auto& [k, v] : overrides_) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-
- private:
-  std::string_view name_;
-  const Overrides& overrides_;
+      : support::SpecValueReader(std::string(name), overrides) {}
 };
 
 EstimatorRegistry make_global() {
@@ -88,7 +36,7 @@ EstimatorRegistry make_global() {
       } else if (*kind == "mle") {
         config.estimator = CollisionEstimator::kMaximumLikelihood;
       } else {
-        bad_value("sample_collide", "estimator", "quadratic|mle", *kind);
+        reader.bad_value("estimator", "quadratic|mle", *kind);
       }
     }
     return std::make_unique<SampleCollideEstimator>(config);
@@ -173,7 +121,7 @@ EstimatorRegistry make_global() {
           } else if (*combine == "mean") {
             config.combine = MultiAggregationConfig::Combine::kMean;
           } else {
-            bad_value("aggregation_suite", "combine", "median|mean", *combine);
+            reader.bad_value("combine", "median|mean", *combine);
           }
         }
         return std::make_unique<AggregationSuiteEstimator>(config);

@@ -60,6 +60,10 @@ std::string_view kind_label(std::string_view scenario) {
   if (scenario == "growing") return "growing network";
   if (scenario == "shrinking") return "shrinking network";
   if (scenario == "oscillating") return "oscillating flash crowds";
+  if (scenario.substr(0, scenario::kTraceWorkloadPrefix.size()) ==
+      scenario::kTraceWorkloadPrefix) {
+    return scenario;  // trace workloads label themselves by their spec
+  }
   return "static overlay";
 }
 
@@ -519,18 +523,24 @@ FigureReport fig_scale_free_compare(const FigureSpec&,
 
 // --- dynamic setting (§IV-D): Figs 9-17 and the matrix core -----------------
 
-/// Shared driver for every estimator × scenario combination: builds the
+/// Shared driver for every estimator × workload combination: builds the
 /// prototype, fans `params.replicas` deterministic replicas over the
 /// unified ScenarioRunner, and assembles the tracking report. The paper
 /// figures (9-17) add their exact captions/axes on top; every other
-/// combination gets generic labels.
+/// combination gets generic labels. `scenario` resolves through
+/// workload_by_name, so trace-driven workloads ("trace:weibull,...") run
+/// through the identical machinery as the paper scripts. A file trace
+/// carries its own initial size, which overrides params.nodes.
 FigureReport dynamic_tracking(const est::Estimator& proto,
                               std::string_view scenario,
                               const FigureParams& params,
                               double rounds_per_unit) {
-  const scenario::ScenarioRunner runner(
-      scenario::script_by_name(scenario, params.nodes),
-      hetero_factory(params.nodes), params.seed);
+  const std::shared_ptr<const scenario::Dynamics> workload =
+      scenario::workload_by_name(scenario, params.nodes);
+  const std::size_t nodes = workload->initial_size().value_or(params.nodes);
+  const double duration = workload->duration();
+  const scenario::ScenarioRunner runner(workload, hetero_factory(nodes),
+                                        params.seed);
   const scenario::ScenarioRunner::RunOptions options{params.estimations,
                                                      rounds_per_unit};
   const ParallelReplicaRunner pool(params.threads);
@@ -549,12 +559,12 @@ FigureReport dynamic_tracking(const est::Estimator& proto,
     const auto& sc = dynamic_cast<const est::SampleCollideEstimator&>(proto);
     // Paper's x-axis for Figs 9-11 is the estimation index.
     const double per_estimation =
-        static_cast<double>(params.estimations) / scenario::kScenarioDuration;
+        static_cast<double>(params.estimations) / duration;
     report = dynamic_report(replicas, "Number of estimations", per_estimation);
     report.id = "fig_sc_dynamic";
     report.title = std::string("Sample&Collide oneShot, ") +
                    std::string(kind_label(scenario));
-    report.params = "nodes=" + std::to_string(params.nodes) +
+    report.params = "nodes=" + std::to_string(nodes) +
                     " l=" + std::to_string(sc.config().collisions) +
                     " estimations=" + std::to_string(params.estimations) +
                     " replicas=" + std::to_string(params.replicas) +
@@ -573,7 +583,7 @@ FigureReport dynamic_tracking(const est::Estimator& proto,
                         ? "last" + std::to_string(hs.smooth_last_k()) + "runs"
                         : std::string("oneShot")) +
                    ", " + std::string(kind_label(scenario));
-    report.params = "nodes=" + std::to_string(params.nodes) +
+    report.params = "nodes=" + std::to_string(nodes) +
                     " estimations=" + std::to_string(params.estimations) +
                     " replicas=" + std::to_string(params.replicas) +
                     " seed=" + std::to_string(params.seed);
@@ -590,7 +600,7 @@ FigureReport dynamic_tracking(const est::Estimator& proto,
     report.title = std::string("Aggregation (") +
                    std::to_string(agg.config().rounds_per_epoch) +
                    "-round epochs), " + std::string(kind_label(scenario));
-    report.params = "nodes=" + std::to_string(params.nodes) +
+    report.params = "nodes=" + std::to_string(nodes) +
                     " rounds_per_epoch=" +
                     std::to_string(agg.config().rounds_per_epoch) +
                     " replicas=" + std::to_string(params.replicas) +
@@ -611,7 +621,7 @@ FigureReport dynamic_tracking(const est::Estimator& proto,
                    proto.describe() + "), " +
                    std::string(kind_label(scenario));
     report.params =
-        "nodes=" + std::to_string(params.nodes) +
+        "nodes=" + std::to_string(nodes) +
         (epoch ? " rounds_per_unit=" + format_double(rounds_per_unit)
                : " estimations=" + std::to_string(params.estimations)) +
         " replicas=" + std::to_string(replica_count) +
@@ -1619,6 +1629,25 @@ const std::vector<FigureSpec>& figure_specs() {
        "sample_collide", "oscillating", ablation_oscillating,
        {.nodes = 50000, .estimations = 100, .sc_collisions = 100,
         .agg_rounds = 50}},
+      {"trace_weibull",
+       "Extension: Sample&Collide oneShot under heavy-tailed Weibull "
+       "sessions (trace workload)",
+       "sample_collide", "trace:weibull,shape=0.5,scale=50",
+       fig_dynamic_tracking,
+       {.nodes = 20000, .estimations = 100, .replicas = 3,
+        .sc_collisions = 100}},
+      {"trace_diurnal",
+       "Extension: HopsSampling last10runs under diurnal (day/night) "
+       "arrivals (trace workload)",
+       "hops_sampling", "trace:diurnal,amplitude=0.6,period=250",
+       fig_dynamic_tracking,
+       {.nodes = 20000, .estimations = 100, .replicas = 3}},
+      {"trace_flashcrowd",
+       "Extension: Aggregation epochs through a flash crowd + mass exodus "
+       "(trace workload)",
+       "aggregation", "trace:flashcrowd,crowd_fraction=1,exodus_fraction=0.4",
+       fig_dynamic_tracking,
+       {.nodes = 20000, .replicas = 3, .agg_rounds = 50}},
   };
   return specs;
 }
@@ -1651,8 +1680,8 @@ FigureReport run_figure(std::string_view id, const FigureParams& params) {
 FigureReport run_matrix(const MatrixOptions& options) {
   const std::unique_ptr<est::Estimator> proto =
       est::EstimatorRegistry::global().build(options.estimator);
-  // Validate the scenario before spending time on replicas.
-  (void)scenario::script_by_name(options.scenario, options.params.nodes);
+  // dynamic_tracking resolves the workload (script or trace) before fanning
+  // out replicas, so an unknown name still fails fast.
   FigureReport report = dynamic_tracking(*proto, options.scenario,
                                          options.params,
                                          options.rounds_per_unit);

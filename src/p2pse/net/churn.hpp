@@ -50,8 +50,19 @@ class ConstantChurn {
   /// Applies dt time units of churn to the graph.
   void step(Graph& graph, double dt, support::RngStream& rng);
 
+  /// Changes the rates in place, carrying the accumulated fractional
+  /// arrival/departure credit over. Rebuilding the object instead would
+  /// silently drop up to one node of credit per rate change — a systematic
+  /// under-churn in scripts that flip rates often (e.g. oscillating).
+  void set_rates(double arrival_rate, double departure_rate) noexcept {
+    arrival_rate_ = arrival_rate;
+    departure_rate_ = departure_rate;
+  }
+
   [[nodiscard]] double arrival_rate() const noexcept { return arrival_rate_; }
   [[nodiscard]] double departure_rate() const noexcept { return departure_rate_; }
+  [[nodiscard]] double arrival_credit() const noexcept { return arrival_credit_; }
+  [[nodiscard]] double departure_credit() const noexcept { return departure_credit_; }
 
  private:
   double arrival_rate_;

@@ -1,0 +1,55 @@
+#include "p2pse/net/session.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace p2pse::net {
+
+void SessionMembership::adopt_initial(SessionId count) {
+  const std::span<const NodeId> alive = graph_->alive_nodes();
+  if (alive.size() < count) {
+    throw std::invalid_argument(
+        "SessionMembership: trace declares " + std::to_string(count) +
+        " initial sessions but the overlay has only " +
+        std::to_string(alive.size()) + " alive nodes");
+  }
+  nodes_.reserve(nodes_.size() + static_cast<std::size_t>(count));
+  for (SessionId session = 0; session < count; ++session) {
+    const auto [it, inserted] =
+        nodes_.emplace(session, alive[static_cast<std::size_t>(session)]);
+    if (!inserted) {
+      throw std::logic_error("SessionMembership: initial session " +
+                             std::to_string(session) + " adopted twice");
+    }
+  }
+}
+
+NodeId SessionMembership::join(SessionId session, support::RngStream& rng) {
+  const NodeId id = join_node(*graph_, policy_, rng);
+  const auto [it, inserted] = nodes_.emplace(session, id);
+  if (!inserted) {
+    graph_->remove_node(id);
+    throw std::logic_error("SessionMembership: session " +
+                           std::to_string(session) + " joined twice");
+  }
+  return id;
+}
+
+NodeId SessionMembership::leave(SessionId session) {
+  const auto it = nodes_.find(session);
+  if (it == nodes_.end()) {
+    throw std::logic_error("SessionMembership: leave of unknown session " +
+                           std::to_string(session));
+  }
+  const NodeId id = it->second;
+  nodes_.erase(it);
+  graph_->remove_node(id);
+  return id;
+}
+
+NodeId SessionMembership::node_of(SessionId session) const noexcept {
+  const auto it = nodes_.find(session);
+  return it == nodes_.end() ? kInvalidNode : it->second;
+}
+
+}  // namespace p2pse::net

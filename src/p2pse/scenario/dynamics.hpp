@@ -1,0 +1,59 @@
+#pragma once
+// Membership-dynamics abstraction: everything a ScenarioRunner needs from a
+// workload, whether it is a scripted rate schedule (ScenarioScript), a
+// synthetic session trace, or a replayed measurement trace.
+//
+// A Dynamics is an immutable, shareable description of how membership
+// evolves over [0, duration]. It is bound once per replica to that
+// replica's overlay + RNG stream, yielding a DynamicsCursor that applies
+// churn as simulated time advances. Binding is const and thread-safe, so
+// replicas can fan out across harness::ParallelReplicaRunner while sharing
+// one Dynamics — and two replicas of the same trace see the *same* join and
+// leave schedule (only the join wiring differs, via the per-replica RNG).
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "p2pse/net/graph.hpp"
+#include "p2pse/support/rng.hpp"
+
+namespace p2pse::scenario {
+
+/// Per-replica replay state of a Dynamics, bound to one overlay.
+class DynamicsCursor {
+ public:
+  virtual ~DynamicsCursor() = default;
+
+  /// Advances workload time to `t` (clamped to the dynamics duration),
+  /// applying every membership change scheduled on the way.
+  virtual void advance_to(double t) = 0;
+
+  /// Current workload time.
+  [[nodiscard]] virtual double now() const noexcept = 0;
+};
+
+/// An immutable membership-dynamics model on a [0, duration] time axis.
+class Dynamics {
+ public:
+  virtual ~Dynamics() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual double duration() const noexcept = 0;
+
+  /// Overlay size the model expects at t=0, when it dictates one (a trace
+  /// knows its initial population; a rate script works at any size).
+  [[nodiscard]] virtual std::optional<std::size_t> initial_size()
+      const noexcept {
+    return std::nullopt;
+  }
+
+  /// Binds a fresh replay cursor to `graph`. `rng` drives the stochastic
+  /// parts of applying the dynamics (victim selection, join wiring) — the
+  /// schedule itself must not depend on it.
+  [[nodiscard]] virtual std::unique_ptr<DynamicsCursor> bind(
+      net::Graph& graph, support::RngStream rng) const = 0;
+};
+
+}  // namespace p2pse::scenario

@@ -8,7 +8,16 @@ namespace p2pse::scenario {
 
 ScenarioRunner::ScenarioRunner(ScenarioScript script, GraphFactory factory,
                                std::uint64_t seed)
-    : script_(std::move(script)), factory_(std::move(factory)), seed_(seed) {
+    : ScenarioRunner(std::make_shared<ScriptDynamics>(std::move(script)),
+                     std::move(factory), seed) {}
+
+ScenarioRunner::ScenarioRunner(std::shared_ptr<const Dynamics> dynamics,
+                               GraphFactory factory, std::uint64_t seed)
+    : dynamics_(std::move(dynamics)), factory_(std::move(factory)),
+      seed_(seed) {
+  if (!dynamics_) {
+    throw std::invalid_argument("ScenarioRunner: dynamics is required");
+  }
   if (!factory_) {
     throw std::invalid_argument("ScenarioRunner: graph factory is required");
   }
@@ -48,17 +57,18 @@ Series ScenarioRunner::run_point(std::size_t estimations,
   support::RngStream pick_rng = root.split("initiator");
 
   sim::Simulator sim(factory_(graph_rng), root.split("sim").seed());
-  ScenarioCursor cursor(script_, sim.graph(), churn_rng);
+  const std::unique_ptr<DynamicsCursor> cursor =
+      dynamics_->bind(sim.graph(), churn_rng);
 
   const double interval =
-      script_.duration / static_cast<double>(estimations);
+      dynamics_->duration() / static_cast<double>(estimations);
   net::NodeId initiator = sim.graph().random_alive(pick_rng);
 
   Series series;
   series.reserve(estimations);
   for (std::size_t i = 1; i <= estimations; ++i) {
     const double t = interval * static_cast<double>(i);
-    cursor.advance_to(t);
+    cursor->advance_to(t);
     sim.advance_to(t);
     SeriesPoint point;
     point.time = t;
@@ -96,10 +106,11 @@ Series ScenarioRunner::run_epochs(est::Estimator& estimator,
   support::RngStream pick_rng = root.split("initiator");
 
   sim::Simulator sim(factory_(graph_rng), root.split("sim").seed());
-  ScenarioCursor cursor(script_, sim.graph(), churn_rng);
+  const std::unique_ptr<DynamicsCursor> cursor =
+      dynamics_->bind(sim.graph(), churn_rng);
 
   const auto total_rounds = static_cast<std::uint64_t>(
-      std::llround(script_.duration * rounds_per_unit));
+      std::llround(dynamics_->duration() * rounds_per_unit));
   const double unit_per_round = 1.0 / rounds_per_unit;
 
   Series series;
@@ -109,7 +120,7 @@ Series ScenarioRunner::run_epochs(est::Estimator& estimator,
 
   for (std::uint64_t round = 0; round < total_rounds; ++round) {
     const double t = unit_per_round * static_cast<double>(round + 1);
-    cursor.advance_to(t);
+    cursor->advance_to(t);
     sim.advance_to(t);
     if (sim.graph().empty()) break;
 

@@ -1,8 +1,9 @@
 #pragma once
-// Comparative-run driver: binds one overlay replica + one scenario script to
-// an estimator and records the (time, true size, estimate) series the
-// paper's figures plot. The runner drives the unified est::Estimator
-// interface and dispatches on its mode:
+// Comparative-run driver: binds one overlay replica + one membership
+// dynamics (a scripted scenario OR a replayable churn trace — anything
+// implementing scenario::Dynamics) to an estimator and records the
+// (time, true size, estimate) series the paper's figures plot. The runner
+// drives the unified est::Estimator interface and dispatches on its mode:
 //
 //  * point estimators (Sample&Collide, HopsSampling, RandomTour, ...) run an
 //    atomic estimation every `interval` time units — churn advances between
@@ -21,12 +22,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "p2pse/est/estimate.hpp"
 #include "p2pse/est/estimator.hpp"
 #include "p2pse/net/graph.hpp"
+#include "p2pse/scenario/dynamics.hpp"
 #include "p2pse/scenario/timeline.hpp"
 #include "p2pse/sim/simulator.hpp"
 #include "p2pse/support/rng.hpp"
@@ -69,6 +72,11 @@ class ScenarioRunner {
   ScenarioRunner(ScenarioScript script, GraphFactory factory,
                  std::uint64_t seed);
 
+  /// Generalized form: any membership dynamics (scripted or trace-driven).
+  /// The Dynamics is shared, immutable, and bound once per replica.
+  ScenarioRunner(std::shared_ptr<const Dynamics> dynamics,
+                 GraphFactory factory, std::uint64_t seed);
+
   /// Unified entry point: clones `prototype` for this replica and drives it
   /// according to its mode. Deterministic per (seed, replica).
   [[nodiscard]] Series run(const est::Estimator& prototype,
@@ -81,7 +89,9 @@ class ScenarioRunner {
                                  const PointEstimator& estimator,
                                  std::uint64_t replica = 0) const;
 
-  [[nodiscard]] const ScenarioScript& script() const noexcept { return script_; }
+  [[nodiscard]] const Dynamics& dynamics() const noexcept {
+    return *dynamics_;
+  }
 
  private:
   [[nodiscard]] Series run_epochs(est::Estimator& estimator,
@@ -91,7 +101,7 @@ class ScenarioRunner {
                                              net::NodeId current,
                                              support::RngStream& rng) const;
 
-  ScenarioScript script_;
+  std::shared_ptr<const Dynamics> dynamics_;
   GraphFactory factory_;
   std::uint64_t seed_;
 };

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "p2pse/trace/workloads.hpp"
+
 namespace p2pse::scenario {
 
 ScenarioScript static_script() {
@@ -113,7 +115,17 @@ ScenarioScript script_by_name(std::string_view name,
     known += candidate;
   }
   throw std::invalid_argument("unknown scenario '" + std::string(name) +
-                              "' (valid: " + known + ")");
+                              "' (valid: " + known +
+                              ", or a trace workload 'trace:MODEL,...')");
+}
+
+std::shared_ptr<const Dynamics> workload_by_name(std::string_view name,
+                                                 std::size_t initial_nodes) {
+  if (name.substr(0, kTraceWorkloadPrefix.size()) == kTraceWorkloadPrefix) {
+    return trace::workload_from_spec(
+        name.substr(kTraceWorkloadPrefix.size()), initial_nodes);
+  }
+  return std::make_shared<ScriptDynamics>(script_by_name(name, initial_nodes));
 }
 
 }  // namespace p2pse::scenario

@@ -8,9 +8,11 @@
 //   shrinking    — −50 % via constant departures over the full run.
 
 #include <cstddef>
+#include <memory>
 #include <string_view>
 #include <vector>
 
+#include "p2pse/scenario/dynamics.hpp"
 #include "p2pse/scenario/timeline.hpp"
 
 namespace p2pse::scenario {
@@ -46,5 +48,15 @@ inline constexpr double kScenarioDuration = 1000.0;
 /// typo'd scenario must never silently fall back to a default.
 [[nodiscard]] ScenarioScript script_by_name(std::string_view name,
                                             std::size_t initial_nodes);
+
+/// Prefix selecting the trace-driven workload namespace (trace/workloads).
+inline constexpr std::string_view kTraceWorkloadPrefix = "trace:";
+
+/// Superset of script_by_name: resolves every named script scenario PLUS
+/// trace-driven workloads ("trace:weibull,shape=0.5", "trace:file=PATH",
+/// ...) into shareable Dynamics the ScenarioRunner can bind. Unknown names,
+/// models, and keys are hard errors listing the candidates.
+[[nodiscard]] std::shared_ptr<const Dynamics> workload_by_name(
+    std::string_view name, std::size_t initial_nodes);
 
 }  // namespace p2pse::scenario

@@ -31,8 +31,10 @@ void ScenarioCursor::apply(const TimelineEvent& event) {
       net::add_nodes(*graph_, event.count, script_->join_policy, rng_);
       break;
     case TimelineEvent::Kind::kSetRates:
-      churn_ = net::ConstantChurn(event.arrival_rate, event.departure_rate,
-                                  script_->join_policy);
+      // In place, NOT a rebuild: the accumulated fractional credit must
+      // survive the rate change or scripts that flip rates often (the
+      // oscillating scenario) systematically under-churn.
+      churn_.set_rates(event.arrival_rate, event.departure_rate);
       break;
   }
 }

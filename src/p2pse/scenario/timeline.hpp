@@ -7,11 +7,13 @@
 // applying churn as it goes, so every estimator sees identical dynamics.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "p2pse/net/churn.hpp"
 #include "p2pse/net/graph.hpp"
+#include "p2pse/scenario/dynamics.hpp"
 #include "p2pse/support/rng.hpp"
 
 namespace p2pse::scenario {
@@ -40,7 +42,7 @@ struct ScenarioScript {
   std::vector<TimelineEvent> events;
 };
 
-class ScenarioCursor {
+class ScenarioCursor final : public DynamicsCursor {
  public:
   /// Throws std::invalid_argument if the script's events are unsorted or
   /// outside [0, duration].
@@ -49,9 +51,9 @@ class ScenarioCursor {
 
   /// Advances scenario time to `t` (clamped to the script duration),
   /// applying continuous churn and any discrete events passed on the way.
-  void advance_to(double t);
+  void advance_to(double t) override;
 
-  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] double now() const noexcept override { return now_; }
   [[nodiscard]] bool finished() const noexcept {
     return now_ >= script_->duration;
   }
@@ -68,6 +70,30 @@ class ScenarioCursor {
   net::ConstantChurn churn_;
   std::size_t next_event_ = 0;
   double now_ = 0.0;
+};
+
+/// Dynamics adapter over a ScenarioScript: every named paper scenario is one
+/// of these; trace-driven workloads provide their own Dynamics in trace/.
+class ScriptDynamics final : public Dynamics {
+ public:
+  explicit ScriptDynamics(ScenarioScript script) : script_(std::move(script)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return script_.name;
+  }
+  [[nodiscard]] double duration() const noexcept override {
+    return script_.duration;
+  }
+  [[nodiscard]] std::unique_ptr<DynamicsCursor> bind(
+      net::Graph& graph, support::RngStream rng) const override {
+    return std::make_unique<ScenarioCursor>(script_, graph, rng);
+  }
+  [[nodiscard]] const ScenarioScript& script() const noexcept {
+    return script_;
+  }
+
+ private:
+  ScenarioScript script_;
 };
 
 }  // namespace p2pse::scenario

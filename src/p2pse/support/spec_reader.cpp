@@ -1,0 +1,64 @@
+#include "p2pse/support/spec_reader.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace p2pse::support {
+
+const std::string* SpecValueReader::find(std::string_view key) const {
+  for (const auto& [k, v] : *overrides_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void SpecValueReader::bad_value(std::string_view key,
+                                std::string_view expected,
+                                std::string_view value) const {
+  throw std::invalid_argument(context_ + ": key '" + std::string(key) +
+                              "' expects " + std::string(expected) +
+                              ", got '" + std::string(value) + "'");
+}
+
+std::uint64_t SpecValueReader::get_uint(std::string_view key,
+                                        std::uint64_t fallback) const {
+  const std::string* raw = find(key);
+  if (!raw) return fallback;
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw->data(), raw->data() + raw->size(), out);
+  if (ec != std::errc{} || ptr != raw->data() + raw->size()) {
+    bad_value(key, "a non-negative integer", *raw);
+  }
+  return out;
+}
+
+double SpecValueReader::get_double(std::string_view key,
+                                   double fallback) const {
+  const std::string* raw = find(key);
+  if (!raw) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(*raw, &consumed);
+    if (consumed != raw->size()) throw std::invalid_argument("trailing");
+    return out;
+  } catch (const std::exception&) {
+    bad_value(key, "a number", *raw);
+  }
+}
+
+bool SpecValueReader::get_bool(std::string_view key, bool fallback) const {
+  const std::string* raw = find(key);
+  if (!raw) return fallback;
+  if (*raw == "true" || *raw == "1" || *raw == "yes") return true;
+  if (*raw == "false" || *raw == "0" || *raw == "no") return false;
+  bad_value(key, "a boolean", *raw);
+}
+
+std::string SpecValueReader::get_string(std::string_view key,
+                                        std::string fallback) const {
+  const std::string* raw = find(key);
+  return raw ? *raw : std::move(fallback);
+}
+
+}  // namespace p2pse::support

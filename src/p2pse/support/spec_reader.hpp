@@ -1,0 +1,48 @@
+#pragma once
+// Shared value conversion for `key=value` override lists — the common half
+// of every spec grammar in the tree (est::EstimatorRegistry's
+// "name:key=value,..." and the trace workload registry's
+// "MODEL,key=value,..."). Malformed values are hard errors naming the
+// context, key, and expected type; *unknown-key* validation stays with each
+// registry, which owns its list of valid keys.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace p2pse::support {
+
+using SpecOverrides = std::vector<std::pair<std::string, std::string>>;
+
+class SpecValueReader {
+ public:
+  /// `context` prefixes every error message (e.g. the estimator or trace
+  /// model name). `overrides` must outlive the reader.
+  SpecValueReader(std::string context, const SpecOverrides& overrides)
+      : context_(std::move(context)), overrides_(&overrides) {}
+
+  /// Value of `key`, or nullptr when absent.
+  [[nodiscard]] const std::string* find(std::string_view key) const;
+
+  /// Converting getters: return `fallback` when the key is absent, throw
+  /// std::invalid_argument when the value does not fully parse.
+  [[nodiscard]] std::uint64_t get_uint(std::string_view key,
+                                       std::uint64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback) const;
+
+  /// Raises the canonical malformed-value error (public so registries can
+  /// reuse the phrasing for enum-like keys they convert themselves).
+  [[noreturn]] void bad_value(std::string_view key, std::string_view expected,
+                              std::string_view value) const;
+
+ private:
+  std::string context_;
+  const SpecOverrides* overrides_;
+};
+
+}  // namespace p2pse::support

@@ -1,0 +1,28 @@
+#include "p2pse/trace/cursor.hpp"
+
+#include <algorithm>
+
+namespace p2pse::trace {
+
+TraceCursor::TraceCursor(const ChurnTrace& trace, net::Graph& graph,
+                         net::JoinPolicy policy, support::RngStream rng)
+    : trace_(&trace), members_(graph, policy), rng_(rng) {
+  members_.adopt_initial(trace.initial_sessions);
+}
+
+void TraceCursor::advance_to(double t) {
+  t = std::min(t, trace_->duration);
+  const auto& events = trace_->events;
+  while (next_event_ < events.size() && events[next_event_].time <= t) {
+    const TraceEvent& event = events[next_event_];
+    if (event.kind == TraceEvent::Kind::kJoin) {
+      (void)members_.join(event.session, rng_);
+    } else {
+      (void)members_.leave(event.session);
+    }
+    ++next_event_;
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace p2pse::trace

@@ -1,0 +1,46 @@
+#pragma once
+// TraceCursor: replays a ChurnTrace against one overlay replica. Plugs into
+// scenario::ScenarioRunner through the DynamicsCursor interface, exactly
+// like the scripted ScenarioCursor — so every estimator in the registry
+// runs unchanged against any trace.
+//
+// Replay semantics: the trace's initial sessions adopt the overlay's first
+// initial_sessions alive nodes (build order, deterministic); each kJoin
+// wires a new node via the JoinPolicy using the cursor's RNG stream; each
+// kLeave removes exactly the node its session joined as. The join/leave
+// *schedule* is fixed by the trace, so every replica sees the identical
+// size trajectory — only the wiring randomness differs per replica.
+
+#include <cstddef>
+
+#include "p2pse/net/session.hpp"
+#include "p2pse/scenario/dynamics.hpp"
+#include "p2pse/trace/trace.hpp"
+
+namespace p2pse::trace {
+
+class TraceCursor final : public scenario::DynamicsCursor {
+ public:
+  /// `trace` must be valid and outlive the cursor. The graph must hold at
+  /// least trace.initial_sessions alive nodes (throws
+  /// std::invalid_argument otherwise).
+  TraceCursor(const ChurnTrace& trace, net::Graph& graph,
+              net::JoinPolicy policy, support::RngStream rng);
+
+  void advance_to(double t) override;
+  [[nodiscard]] double now() const noexcept override { return now_; }
+
+  /// Sessions currently mapped to overlay nodes.
+  [[nodiscard]] std::size_t active_sessions() const noexcept {
+    return members_.active_sessions();
+  }
+
+ private:
+  const ChurnTrace* trace_;
+  net::SessionMembership members_;
+  support::RngStream rng_;
+  std::size_t next_event_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace p2pse::trace

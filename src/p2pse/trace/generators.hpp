@@ -1,0 +1,87 @@
+#pragma once
+// Synthetic churn-trace generators: session-based workload models that go
+// beyond the paper's constant-rate scripts. Each generator is a pure
+// function of (config, rng seed) and emits a validated ChurnTrace, so a
+// workload is reproducible from its spec string alone.
+//
+// Models
+//   * generate_sessions — Poisson arrivals at a constant rate, i.i.d.
+//     session lifetimes drawn from an exponential, Weibull, or Pareto law.
+//     Weibull shape < 1 and Pareto give the heavy-tailed session lengths
+//     measurement studies report (arXiv:2205.14927); exponential is the
+//     memoryless control.
+//   * generate_diurnal — inhomogeneous Poisson arrivals with a sinusoidal
+//     day/night modulation (thinning construction), exponential lifetimes.
+//   * generate_flash_crowd — stationary baseline sessions plus a burst of
+//     short-lived joiners at `crowd_time` and an instantaneous mass exodus
+//     (each session alive at `exodus_time` leaves with probability
+//     `exodus_fraction`).
+//
+// All models start from `initial_sessions` members alive at t=0 whose
+// lifetimes are drawn fresh from the session law (a deliberate
+// simplification: residual lifetimes of a stationary heavy-tailed process
+// would be even longer). Arrival rates default to the stationary rate
+// initial_sessions / E[lifetime], so the population hovers around its
+// initial size unless configured otherwise.
+
+#include <cstdint>
+
+#include "p2pse/support/rng.hpp"
+#include "p2pse/trace/trace.hpp"
+
+namespace p2pse::trace {
+
+/// Session-lifetime law. `mean()` is used to derive stationary arrival
+/// rates; Pareto with alpha <= 1 has no finite mean and therefore requires
+/// an explicit arrival_rate.
+struct Lifetime {
+  enum class Law { kExponential, kWeibull, kPareto } law = Law::kExponential;
+  double mean_lifetime = 100.0;  ///< kExponential
+  double shape = 0.5;            ///< kWeibull shape k / kPareto alpha
+  double scale = 100.0;          ///< kWeibull scale lambda / kPareto x_min
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double sample(support::RngStream& rng) const;
+};
+
+struct SessionWorkloadConfig {
+  std::uint64_t initial_sessions = 10000;
+  double duration = 1000.0;
+  /// Poisson arrival rate (sessions per time unit); < 0 derives the
+  /// stationary rate initial_sessions / lifetime.mean().
+  double arrival_rate = -1.0;
+  Lifetime lifetime{};
+};
+
+[[nodiscard]] ChurnTrace generate_sessions(const SessionWorkloadConfig& config,
+                                           support::RngStream rng);
+
+struct DiurnalConfig {
+  std::uint64_t initial_sessions = 10000;
+  double duration = 1000.0;
+  /// Mean arrival rate; < 0 derives the stationary rate.
+  double base_rate = -1.0;
+  double amplitude = 0.6;   ///< relative modulation depth, in [0, 1]
+  double period = 250.0;    ///< one simulated "day"
+  double mean_lifetime = 100.0;  ///< exponential sessions
+};
+
+[[nodiscard]] ChurnTrace generate_diurnal(const DiurnalConfig& config,
+                                          support::RngStream rng);
+
+struct FlashCrowdConfig {
+  std::uint64_t initial_sessions = 10000;
+  double duration = 1000.0;
+  double mean_lifetime = 200.0;  ///< baseline exponential sessions
+  double crowd_time = 300.0;     ///< burst start
+  double crowd_ramp = 20.0;      ///< burst arrival window length
+  double crowd_fraction = 1.0;   ///< burst size as a fraction of initial
+  double crowd_mean_lifetime = 60.0;  ///< flash visitors leave quickly
+  double exodus_time = 700.0;
+  double exodus_fraction = 0.4;  ///< P(leave at exodus | alive then)
+};
+
+[[nodiscard]] ChurnTrace generate_flash_crowd(const FlashCrowdConfig& config,
+                                              support::RngStream rng);
+
+}  // namespace p2pse::trace

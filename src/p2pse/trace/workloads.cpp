@@ -1,0 +1,213 @@
+#include "p2pse/trace/workloads.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "p2pse/support/spec_reader.hpp"
+#include "p2pse/trace/cursor.hpp"
+#include "p2pse/trace/generators.hpp"
+
+namespace p2pse::trace {
+namespace {
+
+using Overrides = support::SpecOverrides;
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw std::invalid_argument("trace spec: " + what);
+}
+
+/// Keys shared by every synthetic session model.
+constexpr std::string_view kCommonKeys = "duration, seed";
+
+struct ParsedSpec {
+  std::string model;
+  Overrides overrides;
+};
+
+ParsedSpec parse_spec(std::string_view text) {
+  ParsedSpec spec;
+  // "file=PATH" consumes the whole remainder: paths may legally contain
+  // commas, so the key=value grammar must not split them.
+  constexpr std::string_view kFilePrefix = "file=";
+  if (text.substr(0, kFilePrefix.size()) == kFilePrefix) {
+    spec.model = "file";
+    spec.overrides.emplace_back("path",
+                                std::string(text.substr(kFilePrefix.size())));
+    return spec;
+  }
+  std::size_t item_index = 0;
+  while (!text.empty() || item_index == 0) {
+    const std::size_t comma = text.find(',');
+    const std::string_view item = text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    ++item_index;
+    if (item.empty()) {
+      if (item_index == 1) bad_spec("empty model name");
+      continue;
+    }
+    const std::size_t eq = item.find('=');
+    if (item_index == 1 && eq == std::string_view::npos) {
+      spec.model = std::string(item);
+      continue;
+    }
+    if (item_index == 1) {
+      bad_spec("first item must be a model name, got '" + std::string(item) +
+               "'");
+    }
+    if (eq == std::string_view::npos || eq == 0) {
+      bad_spec("'" + std::string(item) + "' is not of the form key=value");
+    }
+    spec.overrides.emplace_back(std::string(item.substr(0, eq)),
+                                std::string(item.substr(eq + 1)));
+  }
+  return spec;
+}
+
+/// Value access via the shared support::SpecValueReader, plus the
+/// trace-side key validation: `valid_keys` is the comma-separated list from
+/// TraceModelInfo — the single source of truth the --list output also
+/// renders. Matching is by exact token, not substring (so "ratio" can't
+/// pass for "duration").
+class SpecReader : public support::SpecValueReader {
+ public:
+  SpecReader(const std::string& model, const Overrides& overrides,
+             std::string_view valid_keys)
+      : support::SpecValueReader("trace spec: " + model, overrides) {
+    for (const auto& [key, value] : overrides) {
+      bool known = false;
+      std::string_view rest = valid_keys;
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        std::string_view token = rest.substr(0, comma);
+        rest = comma == std::string_view::npos ? std::string_view{}
+                                               : rest.substr(comma + 1);
+        while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+        known |= (token == key);
+      }
+      if (!known) {
+        bad_spec(model + ": unknown key '" + key + "' (valid keys: " +
+                 std::string(valid_keys) + ")");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<TraceModelInfo>& trace_model_infos() {
+  static const std::vector<TraceModelInfo> infos = {
+      {"exponential", "mean, arrival, duration, seed",
+       "Poisson arrivals, memoryless exponential session lifetimes"},
+      {"weibull", "shape, scale, arrival, duration, seed",
+       "Poisson arrivals, Weibull lifetimes (shape<1 = heavy-tailed)"},
+      {"pareto", "alpha, xmin, arrival, duration, seed",
+       "Poisson arrivals, Pareto lifetimes (alpha<=1 needs arrival=...)"},
+      {"diurnal", "mean, amplitude, period, base, duration, seed",
+       "sine-modulated arrivals (day/night cycle), exponential lifetimes"},
+      {"flashcrowd",
+       "mean, crowd_time, crowd_ramp, crowd_fraction, crowd_mean, "
+       "exodus_time, exodus_fraction, duration, seed",
+       "baseline sessions + short-lived crowd burst + mass exodus"},
+      {"file", "path", "replay a saved ChurnTrace CSV (trace:file=PATH)"},
+  };
+  return infos;
+}
+
+ChurnTrace build_trace(std::string_view spec_text, std::size_t initial_nodes) {
+  ParsedSpec parsed = parse_spec(spec_text);
+  const TraceModelInfo* info = nullptr;
+  for (const TraceModelInfo& candidate : trace_model_infos()) {
+    if (candidate.name == parsed.model) info = &candidate;
+  }
+  if (!info) {
+    std::string known;
+    for (const TraceModelInfo& candidate : trace_model_infos()) {
+      if (!known.empty()) known += ", ";
+      known += candidate.name;
+    }
+    bad_spec("unknown model '" + parsed.model + "' (known: " + known + ")");
+  }
+  // `parsed` outlives the reader, which borrows the override list.
+  const SpecReader reader(parsed.model, parsed.overrides, info->keys);
+
+  if (parsed.model == "file") {
+    const std::string path = reader.get_string("path", "");
+    if (path.empty()) bad_spec("file: missing path (trace:file=PATH)");
+    return ChurnTrace::load_file(path);
+  }
+
+  const double duration = reader.get_double("duration", 1000.0);
+  const support::RngStream rng(reader.get_uint("seed", 1));
+  const auto initial = static_cast<std::uint64_t>(initial_nodes);
+
+  if (parsed.model == "diurnal") {
+    DiurnalConfig config;
+    config.initial_sessions = initial;
+    config.duration = duration;
+    config.mean_lifetime = reader.get_double("mean", config.mean_lifetime);
+    config.amplitude = reader.get_double("amplitude", config.amplitude);
+    config.period = reader.get_double("period", config.period);
+    config.base_rate = reader.get_double("base", config.base_rate);
+    return generate_diurnal(config, rng);
+  }
+  if (parsed.model == "flashcrowd") {
+    FlashCrowdConfig config;
+    config.initial_sessions = initial;
+    config.duration = duration;
+    config.mean_lifetime = reader.get_double("mean", config.mean_lifetime);
+    // Burst/exodus timing defaults scale with the configured duration, so
+    // "flashcrowd,duration=200" keeps its shape instead of erroring on
+    // absolute times that fall outside the shortened run.
+    config.crowd_time = reader.get_double("crowd_time", 0.3 * duration);
+    config.crowd_ramp = reader.get_double("crowd_ramp", 0.02 * duration);
+    config.crowd_fraction =
+        reader.get_double("crowd_fraction", config.crowd_fraction);
+    config.crowd_mean_lifetime =
+        reader.get_double("crowd_mean", config.crowd_mean_lifetime);
+    config.exodus_time = reader.get_double("exodus_time", 0.7 * duration);
+    config.exodus_fraction =
+        reader.get_double("exodus_fraction", config.exodus_fraction);
+    return generate_flash_crowd(config, rng);
+  }
+
+  SessionWorkloadConfig config;
+  config.initial_sessions = initial;
+  config.duration = duration;
+  config.arrival_rate = reader.get_double("arrival", config.arrival_rate);
+  if (parsed.model == "exponential") {
+    config.lifetime.law = Lifetime::Law::kExponential;
+    config.lifetime.mean_lifetime =
+        reader.get_double("mean", config.lifetime.mean_lifetime);
+  } else if (parsed.model == "weibull") {
+    config.lifetime.law = Lifetime::Law::kWeibull;
+    config.lifetime.shape = reader.get_double("shape", 0.5);
+    config.lifetime.scale = reader.get_double("scale", 50.0);
+  } else {  // pareto
+    config.lifetime.law = Lifetime::Law::kPareto;
+    config.lifetime.shape = reader.get_double("alpha", 1.5);
+    config.lifetime.scale = reader.get_double("xmin", 20.0);
+  }
+  return generate_sessions(config, rng);
+}
+
+TraceDynamics::TraceDynamics(ChurnTrace trace, std::string name,
+                             net::JoinPolicy policy)
+    : trace_(std::move(trace)),
+      name_(name.empty() ? "trace:" + trace_.name : std::move(name)),
+      policy_(policy) {
+  trace_.validate();
+}
+
+std::unique_ptr<scenario::DynamicsCursor> TraceDynamics::bind(
+    net::Graph& graph, support::RngStream rng) const {
+  return std::make_unique<TraceCursor>(trace_, graph, policy_, rng);
+}
+
+std::shared_ptr<const scenario::Dynamics> workload_from_spec(
+    std::string_view spec, std::size_t initial_nodes) {
+  return std::make_shared<TraceDynamics>(build_trace(spec, initial_nodes),
+                                         "trace:" + std::string(spec));
+}
+
+}  // namespace p2pse::trace

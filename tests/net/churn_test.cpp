@@ -148,6 +148,38 @@ TEST(ConstantChurn, SurvivesChurnToExtinction) {
   EXPECT_EQ(g.size(), 0u);
 }
 
+TEST(ConstantChurn, SetRatesCarriesFractionalCredit) {
+  // Regression: rebuilding the churn object on every rate change dropped
+  // the accumulated fractional credit. Ten steps at 0.45 arrivals/unit with
+  // a (same-value) rate change between each step must still produce
+  // floor(4.5) = 4 arrivals, not zero.
+  Graph g = test_overlay(100, 31);
+  support::RngStream rng(32);
+  ConstantChurn churn(0.45, 0.0);
+  for (int step = 0; step < 10; ++step) {
+    churn.step(g, 1.0, rng);
+    churn.set_rates(0.45, 0.0);
+  }
+  EXPECT_EQ(g.size(), 104u);
+}
+
+TEST(ConstantChurn, SetRatesKeepsCreditObservable) {
+  Graph g = test_overlay(100, 33);
+  support::RngStream rng(34);
+  ConstantChurn churn(0.0, 0.9);
+  churn.step(g, 1.0, rng);
+  EXPECT_DOUBLE_EQ(churn.departure_credit(), 0.9);
+  churn.set_rates(5.0, 0.2);
+  EXPECT_DOUBLE_EQ(churn.departure_credit(), 0.9);  // survives the change
+  EXPECT_DOUBLE_EQ(churn.arrival_rate(), 5.0);
+  EXPECT_DOUBLE_EQ(churn.departure_rate(), 0.2);
+  // One more unit: 5 arrivals, and the carried 0.9 + 0.2 = 1.1 departure
+  // credit finally converts into one departure.
+  churn.step(g, 1.0, rng);
+  EXPECT_EQ(g.size(), 104u);
+  EXPECT_NEAR(churn.departure_credit(), 0.1, 1e-9);
+}
+
 TEST(ConstantChurn, ArrivalsKeepDegreeDistributionStationary) {
   // Replacing half the population through churn should keep the average
   // degree in the builder's regime (joins use the same degree policy).

@@ -140,6 +140,46 @@ TEST(ScenarioCursor, OscillatingZeroCyclesIsStatic) {
   EXPECT_EQ(g.size(), 100u);
 }
 
+TEST(ScenarioCursor, SetRatesEventCarriesFractionalCredit) {
+  // Regression: kSetRates used to rebuild ConstantChurn, dropping the
+  // accumulated fractional credit at every event — a systematic under-churn
+  // in rate-flipping scripts. With 0.45 arrivals/unit re-asserted by an
+  // event at every integer time, 10 units must yield floor(4.5) = 4
+  // arrivals, not 0.
+  net::Graph g = overlay(100, 23);
+  ScenarioScript script = static_script();
+  script.duration = 10.0;
+  script.initial_arrival_rate = 0.45;
+  for (int t = 1; t <= 9; ++t) {
+    TimelineEvent event;
+    event.time = static_cast<double>(t);
+    event.kind = TimelineEvent::Kind::kSetRates;
+    event.arrival_rate = 0.45;
+    event.departure_rate = 0.0;
+    script.events.push_back(event);
+  }
+  ScenarioCursor cursor(script, g, support::RngStream(24));
+  for (int t = 1; t <= 10; ++t) cursor.advance_to(static_cast<double>(t));
+  EXPECT_EQ(g.size(), 104u);
+}
+
+TEST(ScriptDynamics, BindsCursorsEquivalentToDirectConstruction) {
+  const ScenarioScript script = shrinking_script(1500);
+  const ScriptDynamics dynamics(script);
+  EXPECT_EQ(dynamics.name(), "shrinking");
+  EXPECT_DOUBLE_EQ(dynamics.duration(), kScenarioDuration);
+  EXPECT_FALSE(dynamics.initial_size().has_value());
+
+  net::Graph bound = overlay(1500, 25);
+  net::Graph direct = overlay(1500, 25);
+  const auto cursor = dynamics.bind(bound, support::RngStream(26));
+  ScenarioCursor reference(script, direct, support::RngStream(26));
+  cursor->advance_to(500.0);
+  reference.advance_to(500.0);
+  EXPECT_EQ(bound.size(), direct.size());
+  EXPECT_DOUBLE_EQ(cursor->now(), reference.now());
+}
+
 TEST(Scenarios, ScriptNamesAndDurations) {
   EXPECT_EQ(static_script().name, "static");
   EXPECT_EQ(catastrophic_script(100).name, "catastrophic");
