@@ -1,0 +1,8 @@
+// Extension figure: estimator accuracy under unreliable delivery (loss
+// 0/5/20%, unit per-hop latency). See harness::figure_specs() row
+// "ext_loss_accuracy".
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return p2pse::harness::figure_main(argc, argv, "ext_loss_accuracy");
+}

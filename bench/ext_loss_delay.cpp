@@ -1,0 +1,8 @@
+// Extension figure: measured estimation delay under exp(50) per-hop
+// latency and loss — the paper's §V conjecture as a measurement. See
+// harness::figure_specs() row "ext_loss_delay".
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return p2pse::harness::figure_main(argc, argv, "ext_loss_delay");
+}

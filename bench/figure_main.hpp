@@ -23,6 +23,7 @@ namespace p2pse::harness {
 inline constexpr std::string_view kFigureFlags[] = {
     "nodes",      "seed",   "estimations", "replicas", "l",
     "T",          "agg-rounds", "last-k",  "threads",  "csv",
+    "net",
 };
 
 /// Maps the shared CLI flags onto `params`. Shared by figure_main and the
@@ -41,6 +42,7 @@ inline FigureParams figure_params_from_args(const support::Args& args,
       args.get_uint("agg-rounds", params.agg_rounds));
   params.last_k = args.get_uint("last-k", params.last_k);
   params.threads = args.get_uint("threads", params.threads);
+  params.net = args.get_string("net", params.net);
   return params;
 }
 
@@ -96,7 +98,11 @@ inline int figure_main(int argc, char** argv, std::string_view figure_id) {
           "                    the report is byte-identical at any value\n"
           "  --csv PATH        also write the per-replica "
           "(time,truth,estimate,messages,valid)\n"
-          "                    series as plain CSV to PATH\n",
+          "                    series as plain CSV to PATH\n"
+          "  --net SPEC        delivery layer, e.g. "
+          "net:loss=0.05,latency=exp:50,timeout=100\n"
+          "                    (keys: loss, latency, jitter, timeout, "
+          "retries; default ideal)\n",
           argv[0], std::string(spec->what).c_str(), d.nodes,
           static_cast<unsigned long long>(d.seed), d.estimations, d.replicas,
           d.sc_collisions, d.sc_timer, d.agg_rounds, d.last_k, d.threads);

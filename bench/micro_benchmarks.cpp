@@ -127,6 +127,67 @@ void BM_CyclonRound(benchmark::State& state) {
 }
 BENCHMARK(BM_CyclonRound)->Arg(10000)->Arg(50000);
 
+void BM_ChannelSendIdeal(benchmark::State& state) {
+  // The loss-free fast path every pre-channel protocol now runs through:
+  // must stay within noise of the bare meter increment.
+  sim::Channel channel;
+  sim::MessageMeter meter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        channel.send(meter, sim::MessageClass::kWalkStep).delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelSendIdeal);
+
+void BM_ChannelSendLossy(benchmark::State& state) {
+  sim::NetworkConfig config;
+  config.loss = 0.05;
+  config.latency = sim::LatencyModel::exponential(50.0);
+  sim::Channel channel(config, support::RngStream(42));
+  sim::MessageMeter meter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        channel.send(meter, sim::MessageClass::kWalkStep).delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelSendLossy);
+
+void BM_ChannelSendArqLossy(benchmark::State& state) {
+  sim::NetworkConfig config;
+  config.loss = 0.2;
+  config.latency = sim::LatencyModel::constant(1.0);
+  sim::Channel channel(config, support::RngStream(42));
+  sim::MessageMeter meter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        channel.send_arq(meter, sim::MessageClass::kWalkStep).delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelSendArqLossy);
+
+void BM_AggregationRoundLossy(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  support::RngStream build_rng(42);
+  sim::Simulator sim(net::build_heterogeneous_random({nodes, 1, 10}, build_rng),
+                     43);
+  sim::NetworkConfig config;
+  config.loss = 0.05;
+  config.latency = sim::LatencyModel::exponential(50.0);
+  sim.set_network(config);
+  support::RngStream rng(44);
+  est::Aggregation agg({.rounds_per_epoch = 50});
+  agg.start_epoch(sim, 0);
+  for (auto _ : state) {
+    agg.run_round(sim, rng);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AggregationRoundLossy)->Arg(10000);
+
 void BM_ChurnStep(benchmark::State& state) {
   support::RngStream build_rng(42);
   net::Graph g = net::build_heterogeneous_random({50000, 1, 10}, build_rng);

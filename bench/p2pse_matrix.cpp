@@ -71,6 +71,10 @@ int main(int argc, char** argv) {
           "  --l/--T/--agg-rounds/--last-k  paper-parameter shorthands\n"
           "  --csv PATH           write per-replica "
           "(time,truth,estimate,messages,valid) CSV\n"
+          "  --net SPEC           delivery layer, e.g. "
+          "net:loss=0.05,latency=exp:50\n"
+          "                       (keys: loss, latency, jitter, timeout, "
+          "retries; default ideal)\n"
           "  --list               print every estimator, scenario, and trace "
           "model with keys\n",
           argv[0]);
@@ -80,7 +84,7 @@ int main(int argc, char** argv) {
         "estimator", "scenario", "rounds-per-unit", "list",
         "nodes",     "seed",     "estimations",     "replicas",
         "l",         "T",        "agg-rounds",      "last-k",
-        "threads",   "csv",
+        "threads",   "csv",      "net",
     };
     args.require_known(std::span<const std::string_view>(kFlags));
     const auto csv_path = harness::csv_path_from_args(args);

@@ -74,6 +74,8 @@ void print_usage(const char* program) {
       "  --seed S             replay: root seed (default 42)\n"
       "  --threads N          replay: fan-out width, 0 = hardware threads\n"
       "  --csv PATH           replay: write per-replica series CSV\n"
+      "  --net SPEC           replay: delivery layer "
+      "(net:loss=...,latency=...,...)\n"
       "  --list               print every trace model, estimator, and "
       "scenario\n",
       program);
@@ -196,7 +198,7 @@ int main(int argc, char** argv) {
         "nodes",       "out",      "estimator", "estimations",
         "rounds-per-unit", "replicas", "seed",  "threads",
         "csv",         "list",     "workload",  "l",
-        "T",           "agg-rounds", "last-k",
+        "T",           "agg-rounds", "last-k",  "net",
     };
     args.require_known(std::span<const std::string_view>(kFlags));
     if (args.get_bool("list", false)) {

@@ -1,5 +1,6 @@
 #include "p2pse/est/aggregation.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -25,6 +26,7 @@ void Aggregation::start_epoch(sim::Simulator& sim, net::NodeId initiator) {
   for (const net::NodeId id : sim.graph().alive_nodes()) values_[id] = 0.0;
   values_[initiator] = 1.0;
   initiator_ = initiator;
+  epoch_delay_ = 0.0;
   ++epoch_;
 }
 
@@ -32,24 +34,49 @@ void Aggregation::run_round(sim::Simulator& sim, support::RngStream& rng) {
   net::Graph& graph = sim.graph();
   ensure_capacity(graph.slot_count());
   // Synchronous cycle: every alive node initiates one exchange with a
-  // uniformly random alive neighbor (push + pull = 2 messages).
+  // uniformly random alive neighbor (push + pull = 2 messages). A dropped
+  // push means the peer never replies (no pull message at all); a dropped
+  // pull means the initiator cannot confirm, so the peer's tentative update
+  // is rolled back — either way the exchange is masked out of the round and
+  // mass is conserved.
+  double round_max = 0.0;
+  bool masked = false;
   for (const net::NodeId id : graph.alive_nodes()) {
     const net::NodeId peer = graph.random_neighbor(id, rng);
     if (peer == net::kInvalidNode) continue;  // isolated node: nothing to do
-    sim.meter().count(sim::MessageClass::kAggregationPush);
+    const sim::Channel::Delivery push =
+        sim.send(sim::MessageClass::kAggregationPush);
+    if (!push.delivered) {
+      masked = true;
+      continue;
+    }
     if (config_.push_pull) {
-      sim.meter().count(sim::MessageClass::kAggregationPull);
+      const sim::Channel::Delivery pull =
+          sim.send(sim::MessageClass::kAggregationPull);
+      if (!pull.delivered) {
+        masked = true;
+        continue;
+      }
+      round_max = std::max(round_max, push.latency + pull.latency);
       const double mean = 0.5 * (values_[id] + values_[peer]);
       values_[id] = mean;
       values_[peer] = mean;
     } else {
       // Push-only variant: the receiver absorbs half the sender's value.
       // Mass stays conserved but mixing is slower (ablation).
+      round_max = std::max(round_max, push.latency);
       const double half = 0.5 * values_[id];
       values_[id] -= half;
       values_[peer] += half;
     }
   }
+  // A synchronized round ends when its slowest exchange settles; detecting
+  // a masked (dropped) exchange costs the ack timeout, as in the poll
+  // protocols' reply windows.
+  if (masked) {
+    round_max = std::max(round_max, sim.channel().config().timeout);
+  }
+  epoch_delay_ += round_max;
 }
 
 Estimate Aggregation::run_epoch(sim::Simulator& sim, net::NodeId initiator,
@@ -74,6 +101,7 @@ Estimate Aggregation::estimate_at(const sim::Simulator& sim,
   Estimate estimate;
   estimate.time = sim.now();
   estimate.messages = 0;
+  estimate.delay = epoch_delay_;
   const double v = value_at(id);
   if (!sim.graph().is_alive(id) || v <= 0.0) {
     estimate.valid = false;

@@ -39,6 +39,10 @@ class Aggregation {
 
   /// Runs one synchronous push-pull round over all alive nodes.
   /// Nodes created after the epoch started join with value 0.
+  /// Under a lossy channel an exchange with a dropped push or pull is
+  /// masked — neither side commits (ack-gated, so mass stays conserved and
+  /// loss only slows convergence); the round's wall-clock is the slowest
+  /// delivered exchange, accumulated into the epoch's measured delay.
   void run_round(sim::Simulator& sim, support::RngStream& rng);
 
   /// Convenience: start_epoch + rounds_per_epoch rounds; returns the
@@ -67,6 +71,8 @@ class Aggregation {
   }
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
   [[nodiscard]] net::NodeId initiator() const noexcept { return initiator_; }
+  /// Measured wall-clock of the rounds run since the epoch started.
+  [[nodiscard]] double epoch_delay() const noexcept { return epoch_delay_; }
 
  private:
   void ensure_capacity(std::size_t slots);
@@ -74,6 +80,7 @@ class Aggregation {
   AggregationConfig config_;
   std::vector<double> values_;
   std::uint64_t epoch_ = 0;
+  double epoch_delay_ = 0.0;
   net::NodeId initiator_ = net::kInvalidNode;
 };
 

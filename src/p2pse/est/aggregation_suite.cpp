@@ -1,6 +1,7 @@
 #include "p2pse/est/aggregation_suite.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace p2pse::est {
@@ -34,24 +35,54 @@ void MultiAggregation::start_epoch(sim::Simulator& sim,
   for (std::uint32_t i = 0; i < config_.instances; ++i) {
     values_[i][sim.graph().random_alive(rng)] = 1.0;
   }
+  epoch_delay_ = 0.0;
 }
 
 void MultiAggregation::run_round(sim::Simulator& sim,
                                  support::RngStream& rng) {
   net::Graph& graph = sim.graph();
   ensure_capacity(graph.slot_count());
+  double round_max = 0.0;
+  bool masked = false;
   for (const net::NodeId id : graph.alive_nodes()) {
     const net::NodeId peer = graph.random_neighbor(id, rng);
     if (peer == net::kInvalidNode) continue;
     // All instances piggyback on one push-pull exchange: 2 messages total.
-    sim.meter().count(sim::MessageClass::kAggregationPush);
-    sim.meter().count(sim::MessageClass::kAggregationPull);
+    // A dropped push or pull masks the whole exchange for every instance
+    // (ack-gated commit, as in the single-instance Aggregation) — mass is
+    // conserved per instance, loss only slows convergence.
+    const sim::Channel::Delivery push =
+        sim.send(sim::MessageClass::kAggregationPush);
+    if (!push.delivered) {
+      masked = true;
+      continue;
+    }
+    const sim::Channel::Delivery pull =
+        sim.send(sim::MessageClass::kAggregationPull);
+    if (!pull.delivered) {
+      masked = true;
+      continue;
+    }
+    round_max = std::max(round_max, push.latency + pull.latency);
     for (auto& v : values_) {
       const double mean = 0.5 * (v[id] + v[peer]);
       v[id] = mean;
       v[peer] = mean;
     }
   }
+  // Same round accounting as Aggregation::run_round: slowest delivered
+  // exchange, or the ack timeout when a masked exchange had to be detected.
+  if (masked) {
+    round_max = std::max(round_max, sim.channel().config().timeout);
+  }
+  epoch_delay_ += round_max;
+}
+
+double MultiAggregation::value_of(std::uint32_t instance,
+                                  net::NodeId id) const noexcept {
+  if (instance >= values_.size()) return 0.0;
+  const auto& v = values_[instance];
+  return id < v.size() ? v[id] : 0.0;
 }
 
 std::vector<double> MultiAggregation::instance_estimates(net::NodeId id) const {
@@ -67,6 +98,7 @@ Estimate MultiAggregation::estimate_at(const sim::Simulator& sim,
                                        net::NodeId id) const {
   Estimate estimate;
   estimate.time = sim.now();
+  estimate.delay = epoch_delay_;
   if (!sim.graph().is_alive(id)) {
     estimate.valid = false;
     return estimate;

@@ -47,9 +47,16 @@ class MultiAggregation {
   /// estimate_at's combiner).
   [[nodiscard]] std::vector<double> instance_estimates(net::NodeId id) const;
 
+  /// Local value of one gossip instance at a node (0 when untouched this
+  /// epoch or out of range). Exposed for mass-conservation diagnostics.
+  [[nodiscard]] double value_of(std::uint32_t instance,
+                                net::NodeId id) const noexcept;
+
   [[nodiscard]] const MultiAggregationConfig& config() const noexcept {
     return config_;
   }
+  /// Measured wall-clock of the rounds run since the epoch started.
+  [[nodiscard]] double epoch_delay() const noexcept { return epoch_delay_; }
 
  private:
   void ensure_capacity(std::size_t slots);
@@ -57,6 +64,7 @@ class MultiAggregation {
   MultiAggregationConfig config_;
   /// values_[i] is instance i's value vector, indexed by node slot.
   std::vector<std::vector<double>> values_;
+  double epoch_delay_ = 0.0;
 };
 
 }  // namespace p2pse::est

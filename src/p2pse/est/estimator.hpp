@@ -63,6 +63,11 @@ class Estimator {
   /// "key=value key=value" fragment describing the active configuration
   /// (used verbatim in report parameter lines).
   [[nodiscard]] virtual std::string describe() const = 0;
+  /// False when the estimator's traffic does not route through the
+  /// simulator's delivery channel (Interval Density reads local leafset
+  /// state). Drivers reject a non-ideal network spec for such estimators —
+  /// loss-free results must never be labelled as lossy ones.
+  [[nodiscard]] virtual bool uses_channel() const noexcept { return true; }
 
   // --- point mode -----------------------------------------------------------
   /// One atomic estimation from `initiator`. Non-const: estimators may keep
@@ -177,6 +182,7 @@ class IntervalDensityEstimator final : public Estimator {
   [[nodiscard]] Mode mode() const noexcept override { return Mode::kPoint; }
   [[nodiscard]] std::unique_ptr<Estimator> clone() const override;
   [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] bool uses_channel() const noexcept override { return false; }
   /// Lazily assigns uniform ring identifiers to the overlay (drawn from
   /// `rng`) and re-assigns them whenever the population changed since the
   /// previous call — the simulation analogue of DHT leafset maintenance.

@@ -1,5 +1,6 @@
 #include "p2pse/est/flat_polling.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -25,16 +26,24 @@ FlatPollingResult FlatPolling::run_once(sim::Simulator& sim,
 
   // BFS flood: every informed node forwards the poll to all its neighbors
   // once. Each transmitted copy is a message (already-informed receivers
-  // still cost the send).
+  // still cost the send). Copies travel in parallel, so a flood round costs
+  // the maximum latency among its delivered copies; a dropped copy simply
+  // fails to inform its target (the flood's redundancy is the protocol's
+  // only repair mechanism — no retransmission).
   std::vector<bool> informed(graph.slot_count(), false);
   std::vector<net::NodeId> frontier{initiator};
   informed[initiator] = true;
   result.reached = 1;
+  double flood_delay = 0.0;
   while (!frontier.empty()) {
     std::vector<net::NodeId> next;
+    double round_max = 0.0;
     for (const net::NodeId u : frontier) {
       for (const net::NodeId v : graph.neighbors(u)) {
-        sim.meter().count(sim::MessageClass::kGossipSpread);
+        const sim::Channel::Delivery d =
+            sim.send(sim::MessageClass::kGossipSpread);
+        if (!d.delivered) continue;
+        round_max = std::max(round_max, d.latency);
         if (!informed[v]) {
           informed[v] = true;
           ++result.reached;
@@ -43,22 +52,33 @@ FlatPollingResult FlatPolling::run_once(sim::Simulator& sim,
       }
     }
     frontier.swap(next);
+    flood_delay += round_max;
   }
 
-  // Flat-probability report.
+  // Flat-probability report; a dropped reply is never counted.
   double estimate = 1.0;
+  double reply_max = 0.0;
   for (const net::NodeId id : graph.alive_nodes()) {
     if (id == initiator || !informed[id]) continue;
     if (rng.bernoulli(config_.reply_probability)) {
-      sim.meter().count(sim::MessageClass::kPollReply);
+      const sim::Channel::Delivery d =
+          sim.send(sim::MessageClass::kPollReply);
       ++result.replies;
-      estimate += 1.0 / config_.reply_probability;
+      if (d.delivered) {
+        reply_max = std::max(reply_max, d.latency);
+        estimate += 1.0 / config_.reply_probability;
+      }
     }
   }
 
   result.estimate.value = estimate;
   result.estimate.time = sim.now();
   result.estimate.messages = sim.meter().since(baseline);
+  const sim::Channel& channel = sim.channel();
+  result.estimate.delay =
+      flood_delay + (channel.config().loss > 0.0
+                         ? std::max(reply_max, channel.config().timeout)
+                         : reply_max);
   return result;
 }
 

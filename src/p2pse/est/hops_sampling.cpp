@@ -1,5 +1,6 @@
 #include "p2pse/est/hops_sampling.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -54,41 +55,35 @@ void HopsSampling::spread(sim::Simulator& sim, net::NodeId initiator,
   while (!frontier.empty() && rounds < config_.max_spread_rounds) {
     ++rounds;
     next.clear();
+    // The round's forwards travel in parallel; the round ends when the
+    // slowest delivered copy lands.
+    double round_max = 0.0;
+    const auto deliver = [&](const Forwarder& fw, const net::NodeId target) {
+      const sim::Channel::Delivery d =
+          sim.send(sim::MessageClass::kGossipSpread);
+      if (!d.delivered) return;  // dropped gossip: the target never hears it
+      round_max = std::max(round_max, d.latency);
+      if (min_hops[target] == net::kUnreached) {
+        min_hops[target] = fw.send_hop;
+        ++result.reached;
+      } else if (fw.send_hop < min_hops[target]) {
+        min_hops[target] = fw.send_hop;
+      }
+      if (times_received[target]++ < config_.gossip_until) {
+        next.push_back(
+            Forwarder{target, min_hops[target] + 1, config_.gossip_for});
+      }
+    };
     for (auto& fw : frontier) {
       const auto neighbors = graph.neighbors(fw.node);
       if (!neighbors.empty()) {
         // gossipTo distinct targets when possible, all neighbors otherwise.
         if (neighbors.size() <= config_.gossip_to) {
-          for (const net::NodeId target : neighbors) {
-            sim.meter().count(sim::MessageClass::kGossipSpread);
-            if (min_hops[target] == net::kUnreached) {
-              min_hops[target] = fw.send_hop;
-              ++result.reached;
-            } else if (fw.send_hop < min_hops[target]) {
-              min_hops[target] = fw.send_hop;
-            }
-            if (times_received[target]++ < config_.gossip_until) {
-              next.push_back(
-                  Forwarder{target, min_hops[target] + 1, config_.gossip_for});
-            }
-          }
+          for (const net::NodeId target : neighbors) deliver(fw, target);
         } else {
           const auto picks =
               rng.sample_without_replacement(neighbors.size(), config_.gossip_to);
-          for (const std::size_t pick : picks) {
-            const net::NodeId target = neighbors[pick];
-            sim.meter().count(sim::MessageClass::kGossipSpread);
-            if (min_hops[target] == net::kUnreached) {
-              min_hops[target] = fw.send_hop;
-              ++result.reached;
-            } else if (fw.send_hop < min_hops[target]) {
-              min_hops[target] = fw.send_hop;
-            }
-            if (times_received[target]++ < config_.gossip_until) {
-              next.push_back(
-                  Forwarder{target, min_hops[target] + 1, config_.gossip_for});
-            }
-          }
+          for (const std::size_t pick : picks) deliver(fw, neighbors[pick]);
         }
       }
       // A multi-round forwarder re-enters the frontier until exhausted.
@@ -97,6 +92,7 @@ void HopsSampling::spread(sim::Simulator& sim, net::NodeId initiator,
       }
     }
     frontier.swap(next);
+    result.spread_delay += round_max;
   }
   result.spread_rounds = rounds;
 }
@@ -128,7 +124,11 @@ HopsSamplingResult HopsSampling::run_once(sim::Simulator& sim,
 
   // Reporting phase: the initiator counts itself; every other polled node
   // replies probabilistically and is weighted by the inverse probability.
+  // Replies travel in parallel; a dropped reply is simply never counted
+  // (the initiator cannot tell a drop from a node that chose not to reply),
+  // deepening the under-estimation the paper already observes.
   double estimate = 1.0;
+  double reply_max = 0.0;
   for (const net::NodeId id : graph.alive_nodes()) {
     if (id == initiator) continue;
     const std::uint32_t h = min_hops[id];
@@ -136,9 +136,13 @@ HopsSamplingResult HopsSampling::run_once(sim::Simulator& sim,
     result.max_distance = std::max(result.max_distance, h);
     const double p = reply_probability(h);
     if (rng.bernoulli(p)) {
-      sim.meter().count(sim::MessageClass::kPollReply);
+      const sim::Channel::Delivery d =
+          sim.send(sim::MessageClass::kPollReply);
       ++result.replies;
-      estimate += 1.0 / p;
+      if (d.delivered) {
+        reply_max = std::max(reply_max, d.latency);
+        estimate += 1.0 / p;
+      }
     }
   }
 
@@ -146,6 +150,15 @@ HopsSamplingResult HopsSampling::run_once(sim::Simulator& sim,
   result.estimate.time = sim.now();
   result.estimate.messages = sim.meter().since(baseline);
   result.estimate.valid = true;
+  // Measured poll delay: the parallel spread plus the reply window. Under
+  // loss the initiator cannot know when the last reply is in, so it keeps
+  // the poll open for its full timeout.
+  const sim::Channel& channel = sim.channel();
+  result.estimate.delay =
+      result.spread_delay + (channel.config().loss > 0.0
+                                 ? std::max(reply_max,
+                                            channel.config().timeout)
+                                 : reply_max);
   return result;
 }
 

@@ -46,6 +46,10 @@ struct HopsSamplingResult {
   std::size_t replies = 0;   ///< responses sent back
   std::uint32_t spread_rounds = 0;
   std::uint32_t max_distance = 0;  ///< largest per-node min-hop value observed
+  /// Wall-clock of the spread phase under the channel: per round, the
+  /// frontier advances in parallel, so a round costs the maximum latency
+  /// among its delivered messages (0 on the ideal channel).
+  double spread_delay = 0.0;
 };
 
 class HopsSampling {

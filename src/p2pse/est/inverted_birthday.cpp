@@ -12,18 +12,34 @@ InvertedBirthday::InvertedBirthday(InvertedBirthdayConfig config)
   }
 }
 
-net::NodeId InvertedBirthday::sample(sim::Simulator& sim, net::NodeId initiator,
-                                     support::RngStream& rng) const {
+InvertedBirthday::Sample InvertedBirthday::sample(
+    sim::Simulator& sim, net::NodeId initiator,
+    support::RngStream& rng) const {
   const net::Graph& graph = sim.graph();
+  // Fixed-length walks carry no timer state, so loss handling matches the
+  // walk-class convention: hop-reliable forwarding, bounded-ARQ reply. A
+  // permanently lost reply means the initiator never learns the sample
+  // (it times out and launches the next walk, as in Sample&Collide).
+  Sample out;
   net::NodeId current = initiator;
+  std::uint32_t steps = 0;
   for (std::uint32_t step = 0; step < config_.walk_length; ++step) {
     const net::NodeId next = graph.random_neighbor(current, rng);
     if (next == net::kInvalidNode) break;
-    sim.meter().count(sim::MessageClass::kWalkStep);
+    out.elapsed += sim.send_reliable(sim::MessageClass::kWalkStep).latency;
     current = next;
+    ++steps;
   }
-  sim.meter().count(sim::MessageClass::kSampleReply);
-  return current;
+  // A walk that never left the initiator (isolated node) sampled itself
+  // locally: no reply crosses the network (same rule as Sample&Collide).
+  if (steps > 0) {
+    const sim::Channel::Delivery reply =
+        sim.send_arq(sim::MessageClass::kSampleReply);
+    out.elapsed += reply.latency;
+    out.lost = !reply.delivered;
+  }
+  out.node = current;
+  return out;
 }
 
 Estimate InvertedBirthday::estimate_once(sim::Simulator& sim,
@@ -35,15 +51,24 @@ Estimate InvertedBirthday::estimate_once(sim::Simulator& sim,
   }
   std::unordered_set<net::NodeId> seen;
   std::uint64_t samples = 0;
+  std::uint64_t attempts = 0;
   std::uint32_t collisions = 0;
-  while (collisions < config_.collisions && samples < config_.max_samples) {
-    const net::NodeId s = sample(sim, initiator, rng);
+  double delay = 0.0;
+  while (collisions < config_.collisions && attempts < config_.max_samples) {
+    const Sample s = sample(sim, initiator, rng);
+    ++attempts;
+    if (s.lost) {
+      delay += sim.channel().config().timeout;
+      continue;
+    }
+    delay += s.elapsed;
     ++samples;
-    if (!seen.insert(s).second) ++collisions;
+    if (!seen.insert(s.node).second) ++collisions;
   }
   Estimate estimate;
   estimate.time = sim.now();
   estimate.messages = sim.meter().since(baseline);
+  estimate.delay = delay;
   if (collisions < config_.collisions) {
     estimate.valid = false;
     return estimate;

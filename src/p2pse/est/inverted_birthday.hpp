@@ -30,8 +30,13 @@ class InvertedBirthday {
   explicit InvertedBirthday(InvertedBirthdayConfig config);
 
   /// One degree-biased sample: the endpoint of a fixed-length random walk.
-  [[nodiscard]] net::NodeId sample(sim::Simulator& sim, net::NodeId initiator,
-                                   support::RngStream& rng) const;
+  struct Sample {
+    net::NodeId node = net::kInvalidNode;
+    bool lost = false;      ///< reply permanently lost (bounded ARQ exhausted)
+    double elapsed = 0.0;   ///< transit wall-clock under the channel
+  };
+  [[nodiscard]] Sample sample(sim::Simulator& sim, net::NodeId initiator,
+                              support::RngStream& rng) const;
 
   /// Samples until `collisions` repeats and returns N-hat = C^2 / (2 l).
   [[nodiscard]] Estimate estimate_once(sim::Simulator& sim,

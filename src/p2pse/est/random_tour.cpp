@@ -13,7 +13,15 @@ Estimate RandomTour::estimate_once(sim::Simulator& sim, net::NodeId initiator,
 
   // Phi accumulates 1/deg over X_0 = initiator .. X_{T-1}; the arrival back
   // at the initiator ends the tour and is not accumulated.
+  //
+  // Lossy links: the tour message carries phi — irreplaceable in-flight
+  // state, and a tour is far too long to restart on every loss. The
+  // standard adaptation (cf. the master/slave RandomTour variant in
+  // PAPERS.md) is per-hop acknowledgement with retransmission, so every hop
+  // uses the channel's hop-reliable send: loss inflates message cost and
+  // wall-clock delay but never kills the tour.
   double phi = 1.0 / static_cast<double>(init_degree);
+  double delay = 0.0;
   net::NodeId current = initiator;
   for (std::uint64_t step = 0; step < config_.max_steps; ++step) {
     const net::NodeId next = graph.random_neighbor(current, rng);
@@ -22,13 +30,14 @@ Estimate RandomTour::estimate_once(sim::Simulator& sim, net::NodeId initiator,
       // mid-tour; impossible on a static undirected graph).
       return Estimate::invalid_at(sim.now(), sim.meter().since(baseline));
     }
-    sim.meter().count(sim::MessageClass::kWalkStep);
+    delay += sim.send_reliable(sim::MessageClass::kWalkStep).latency;
     current = next;
     if (current == initiator) {
       Estimate estimate;
       estimate.value = static_cast<double>(init_degree) * phi;
       estimate.time = sim.now();
       estimate.messages = sim.meter().since(baseline);
+      estimate.delay = delay;
       return estimate;
     }
     phi += 1.0 / static_cast<double>(graph.degree(current));

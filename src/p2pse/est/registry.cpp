@@ -133,31 +133,8 @@ EstimatorRegistry make_global() {
 }  // namespace
 
 EstimatorSpec EstimatorSpec::parse(std::string_view text) {
-  EstimatorSpec spec;
-  const std::size_t colon = text.find(':');
-  spec.name = std::string(text.substr(0, colon));
-  if (spec.name.empty()) {
-    throw std::invalid_argument("estimator spec: empty name in '" +
-                                std::string(text) + "'");
-  }
-  if (colon == std::string_view::npos) return spec;
-  std::string_view rest = text.substr(colon + 1);
-  while (!rest.empty()) {
-    const std::size_t comma = rest.find(',');
-    const std::string_view item = rest.substr(0, comma);
-    rest = comma == std::string_view::npos ? std::string_view{}
-                                           : rest.substr(comma + 1);
-    if (item.empty()) continue;
-    const std::size_t eq = item.find('=');
-    if (eq == std::string_view::npos || eq == 0) {
-      throw std::invalid_argument("estimator spec '" + spec.name +
-                                  "': override '" + std::string(item) +
-                                  "' is not of the form key=value");
-    }
-    spec.overrides.emplace_back(std::string(item.substr(0, eq)),
-                                std::string(item.substr(eq + 1)));
-  }
-  return spec;
+  support::ParsedSpec parsed = support::parse_spec(text, "estimator spec");
+  return EstimatorSpec{std::move(parsed.name), std::move(parsed.overrides)};
 }
 
 bool EstimatorSpec::has(std::string_view key) const {

@@ -28,7 +28,14 @@ WalkSample SampleCollide::sample(sim::Simulator& sim, net::NodeId initiator,
   for (std::uint64_t step = 0; step < config_.max_walk_steps; ++step) {
     const net::NodeId next = graph.random_neighbor(current, rng);
     if (next == net::kInvalidNode) break;  // stuck: no neighbors to walk to
-    sim.meter().count(sim::MessageClass::kWalkStep);
+    const sim::Channel::Delivery hop =
+        sim.send_arq(sim::MessageClass::kWalkStep);
+    out.elapsed += hop.latency;
+    if (!hop.delivered) {
+      // Per-hop ARQ exhausted: the walk (and its timer state) is gone.
+      out.lost = true;
+      return out;
+    }
     ++out.steps;
     current = next;
     const std::size_t deg = graph.degree(current);
@@ -39,7 +46,12 @@ WalkSample SampleCollide::sample(sim::Simulator& sim, net::NodeId initiator,
   // The sampled node reports back to the initiator — one reply message. When
   // the walk never left the initiator (isolated node: zero steps), the
   // initiator sampled itself locally and no message crosses the network.
-  if (out.steps > 0) sim.meter().count(sim::MessageClass::kSampleReply);
+  if (out.steps > 0) {
+    const sim::Channel::Delivery reply =
+        sim.send_arq(sim::MessageClass::kSampleReply);
+    out.elapsed += reply.latency;
+    if (!reply.delivered) out.lost = true;
+  }
   return out;
 }
 
@@ -54,9 +66,23 @@ Estimate SampleCollide::estimate_once(sim::Simulator& sim,
   std::unordered_set<net::NodeId> seen;
   seen.reserve(1024);
   std::uint64_t samples = 0;
+  std::uint64_t attempts = 0;
   std::uint32_t collisions = 0;
-  while (collisions < config_.collisions && samples < config_.max_samples) {
+  double delay = 0.0;
+  while (collisions < config_.collisions && attempts < config_.max_samples) {
     const WalkSample s = sample(sim, initiator, rng);
+    ++attempts;
+    if (s.lost) {
+      // Initiator timeout on a lost walk or reply: wait, then relaunch.
+      // The messages already on the wire stay counted; the sample does not
+      // exist, so it enters neither the collision set nor C. The charge is
+      // the INITIATOR's clock, not the network's: remote per-hop ARQ waits
+      // (s.elapsed) happen out of its sight and off its critical path — it
+      // relaunches the moment its own timer fires.
+      delay += sim.channel().config().timeout;
+      continue;
+    }
+    delay += s.elapsed;
     ++samples;
     if (!seen.insert(s.node).second) ++collisions;
   }
@@ -64,6 +90,7 @@ Estimate SampleCollide::estimate_once(sim::Simulator& sim,
   Estimate estimate;
   estimate.time = sim.now();
   estimate.messages = sim.meter().since(baseline);
+  estimate.delay = delay;
   if (collisions < config_.collisions) {
     estimate.valid = false;  // hit the safety bound (graph too large for l)
     return estimate;

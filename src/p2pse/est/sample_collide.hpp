@@ -42,7 +42,14 @@ struct SampleCollideConfig {
 /// Result of one T-walk.
 struct WalkSample {
   net::NodeId node = net::kInvalidNode;
-  std::uint64_t steps = 0;  ///< hops taken (== walk messages)
+  std::uint64_t steps = 0;  ///< logical hops taken (ARQ may retransmit each)
+  /// Walk or reply lost in transit (per-hop ARQ exhausted): the initiator
+  /// never learns the sample and times out. Always false on a loss-free
+  /// channel.
+  bool lost = false;
+  /// Wall-clock of the transit under the simulator's channel: hop latencies
+  /// plus retransmission waits (0 on the ideal channel).
+  double elapsed = 0.0;
 };
 
 class SampleCollide {
@@ -51,7 +58,11 @@ class SampleCollide {
 
   /// Draws one (asymptotically) uniform sample starting from `initiator`.
   /// Counts one kWalkStep message per hop and one kSampleReply for the
-  /// sample's report. An isolated initiator samples itself.
+  /// sample's report. An isolated initiator samples itself. Under a lossy
+  /// channel every hop and the reply use bounded per-hop ARQ
+  /// (sim::Channel::send_arq); when a hop or the reply is permanently lost
+  /// the sample comes back with `lost == true` and the initiator must
+  /// relaunch after its timeout.
   [[nodiscard]] WalkSample sample(sim::Simulator& sim, net::NodeId initiator,
                                   support::RngStream& rng) const;
 

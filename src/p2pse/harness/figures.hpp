@@ -34,6 +34,11 @@ struct FigureParams {
   std::size_t last_k = 10;             ///< last10runs window
   std::size_t threads = 0;  ///< replica fan-out width; 0 = hardware threads.
                             ///< Output is byte-identical at any value.
+  /// Delivery-layer spec ("net:loss=0.05,latency=exp:50,..."), parsed by
+  /// sim::NetworkConfig::parse and installed on every replica's simulator.
+  /// Empty = the ideal channel; an explicit all-ideal spec
+  /// ("net:loss=0,latency=constant:0") produces byte-identical reports.
+  std::string net{};
 };
 
 struct FigureSpec;

@@ -41,14 +41,16 @@ Series ScenarioRunner::run(const est::Estimator& prototype,
                     support::RngStream& rng) {
           return instance->estimate_point(sim, initiator, rng);
         },
-        replica);
+        replica, options.network);
   }
-  return run_epochs(*instance, options.rounds_per_unit, replica);
+  return run_epochs(*instance, options.rounds_per_unit, replica,
+                    options.network);
 }
 
 Series ScenarioRunner::run_point(std::size_t estimations,
                                  const PointEstimator& estimator,
-                                 std::uint64_t replica) const {
+                                 std::uint64_t replica,
+                                 const sim::NetworkConfig& network) const {
   if (estimations == 0) return {};
   const support::RngStream root = support::RngStream(seed_).split("replica", replica);
   support::RngStream graph_rng = root.split("graph");
@@ -57,6 +59,7 @@ Series ScenarioRunner::run_point(std::size_t estimations,
   support::RngStream pick_rng = root.split("initiator");
 
   sim::Simulator sim(factory_(graph_rng), root.split("sim").seed());
+  sim.set_network(network);
   const std::unique_ptr<DynamicsCursor> cursor =
       dynamics_->bind(sim.graph(), churn_rng);
 
@@ -83,6 +86,7 @@ Series ScenarioRunner::run_point(std::size_t estimations,
     point.estimate = e.value;
     point.valid = e.valid;
     point.messages = e.messages;
+    point.delay = e.delay;
     series.push_back(point);
   }
   return series;
@@ -90,7 +94,8 @@ Series ScenarioRunner::run_point(std::size_t estimations,
 
 Series ScenarioRunner::run_epochs(est::Estimator& estimator,
                                   double rounds_per_unit,
-                                  std::uint64_t replica) const {
+                                  std::uint64_t replica,
+                                  const sim::NetworkConfig& network) const {
   if (rounds_per_unit <= 0.0) {
     throw std::invalid_argument("ScenarioRunner: rounds_per_unit must be > 0");
   }
@@ -106,6 +111,7 @@ Series ScenarioRunner::run_epochs(est::Estimator& estimator,
   support::RngStream pick_rng = root.split("initiator");
 
   sim::Simulator sim(factory_(graph_rng), root.split("sim").seed());
+  sim.set_network(network);
   const std::unique_ptr<DynamicsCursor> cursor =
       dynamics_->bind(sim.graph(), churn_rng);
 
@@ -146,6 +152,7 @@ Series ScenarioRunner::run_epochs(est::Estimator& estimator,
       point.estimate = e.value;
       point.valid = e.valid;
       point.messages = sim.meter().since(baseline_msgs);
+      point.delay = e.delay;
       series.push_back(point);
     }
   }

@@ -43,6 +43,7 @@ struct SeriesPoint {
   double estimate = 0.0;
   bool valid = true;
   std::uint64_t messages = 0;  ///< cost of this estimate
+  double delay = 0.0;  ///< measured wall-clock under the delivery channel
 };
 
 using Series = std::vector<SeriesPoint>;
@@ -65,6 +66,10 @@ class ScenarioRunner {
   struct RunOptions {
     std::size_t estimations = 100;
     double rounds_per_unit = 10.0;
+    /// Delivery layer installed on every replica's simulator. The default
+    /// is the ideal channel, which reproduces the reliable simulator
+    /// bit-for-bit (sim::Channel's draw-nothing fast path).
+    sim::NetworkConfig network{};
   };
 
   /// `seed` is the root seed; replica r derives graph/estimator/churn
@@ -85,9 +90,10 @@ class ScenarioRunner {
 
   /// Runs a point-estimator callback `estimations` times, evenly spaced over
   /// the script duration (first estimation after one interval).
-  [[nodiscard]] Series run_point(std::size_t estimations,
-                                 const PointEstimator& estimator,
-                                 std::uint64_t replica = 0) const;
+  [[nodiscard]] Series run_point(
+      std::size_t estimations, const PointEstimator& estimator,
+      std::uint64_t replica = 0,
+      const sim::NetworkConfig& network = sim::NetworkConfig{}) const;
 
   [[nodiscard]] const Dynamics& dynamics() const noexcept {
     return *dynamics_;
@@ -96,7 +102,8 @@ class ScenarioRunner {
  private:
   [[nodiscard]] Series run_epochs(est::Estimator& estimator,
                                   double rounds_per_unit,
-                                  std::uint64_t replica) const;
+                                  std::uint64_t replica,
+                                  const sim::NetworkConfig& network) const;
   [[nodiscard]] net::NodeId ensure_initiator(const net::Graph& graph,
                                              net::NodeId current,
                                              support::RngStream& rng) const;

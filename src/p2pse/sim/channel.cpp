@@ -1,0 +1,192 @@
+#include "p2pse/sim/channel.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "p2pse/support/csv.hpp"
+#include "p2pse/support/spec_reader.hpp"
+
+namespace p2pse::sim {
+namespace {
+
+/// A reliable channel would loop forever at loss=1; cap retransmissions so
+/// every run terminates. At the cap the message is treated as delivered —
+/// unreachable in practice below loss ~0.99.
+constexpr std::uint32_t kReliableCap = 256;
+
+[[noreturn]] void bad_latency(std::string_view value, const std::string& why) {
+  throw std::invalid_argument(
+      "net spec: key 'latency' expects constant:H | uniform:LO:HI | "
+      "exp:MEAN, got '" +
+      std::string(value) + "'" + (why.empty() ? "" : " (" + why + ")"));
+}
+
+LatencyModel parse_latency(std::string_view value) {
+  const std::size_t colon = value.find(':');
+  const std::string_view model = value.substr(0, colon);
+  std::vector<double> args;
+  if (colon != std::string_view::npos) {
+    std::string_view rest = value.substr(colon + 1);
+    while (!rest.empty()) {
+      const std::size_t next = rest.find(':');
+      const std::string token(rest.substr(0, next));
+      rest = next == std::string_view::npos ? std::string_view{}
+                                            : rest.substr(next + 1);
+      try {
+        std::size_t consumed = 0;
+        args.push_back(std::stod(token, &consumed));
+        if (consumed != token.size()) throw std::invalid_argument("trailing");
+      } catch (const std::exception&) {
+        bad_latency(value, "'" + token + "' is not a number");
+      }
+    }
+  }
+  // Arity first, factories second: a factory rejection (negative latency,
+  // zero exponential mean, ...) is re-phrased in spec terms exactly once.
+  if (model == "constant") {
+    if (args.size() != 1) bad_latency(value, "constant takes one argument");
+    try {
+      return LatencyModel::constant(args[0]);
+    } catch (const std::invalid_argument& error) {
+      bad_latency(value, error.what());
+    }
+  }
+  if (model == "uniform") {
+    if (args.size() != 2) bad_latency(value, "uniform takes two arguments");
+    try {
+      return LatencyModel::uniform(args[0], args[1]);
+    } catch (const std::invalid_argument& error) {
+      bad_latency(value, error.what());
+    }
+  }
+  if (model == "exp" || model == "exponential") {
+    if (args.size() != 1) bad_latency(value, "exp takes one argument");
+    try {
+      return LatencyModel::exponential(args[0]);
+    } catch (const std::invalid_argument& error) {
+      bad_latency(value, error.what());
+    }
+  }
+  bad_latency(value, "unknown model '" + std::string(model) + "'");
+}
+
+}  // namespace
+
+NetworkConfig NetworkConfig::parse(std::string_view text) {
+  // Same surface grammar as estimator specs: "net" or "net:k=v,k=v"
+  // (shared tokenizer; key/value semantics below).
+  support::ParsedSpec parsed = support::parse_spec(text, "net spec");
+  if (parsed.name != "net") {
+    throw std::invalid_argument("network spec '" + std::string(text) +
+                                "' must start with 'net' (e.g. "
+                                "net:loss=0.05,latency=exp:50)");
+  }
+  const support::SpecOverrides& overrides = parsed.overrides;
+  for (const auto& [key, value] : overrides) {
+    if (key != "loss" && key != "latency" && key != "jitter" &&
+        key != "timeout" && key != "retries") {
+      throw std::invalid_argument("net spec: unknown key '" + key +
+                                  "' (valid keys: " +
+                                  std::string(keys_help()) + ")");
+    }
+  }
+
+  const support::SpecValueReader reader("net spec", overrides);
+  NetworkConfig config;
+  config.loss = reader.get_double("loss", config.loss);
+  if (config.loss < 0.0 || config.loss > 1.0) {
+    throw std::invalid_argument(
+        "net spec: key 'loss' expects a probability in [0, 1], got '" +
+        *reader.find("loss") + "'");
+  }
+  if (const std::string* latency = reader.find("latency")) {
+    config.latency = parse_latency(*latency);
+  }
+  config.jitter = reader.get_double("jitter", config.jitter);
+  if (config.jitter < 0.0) {
+    throw std::invalid_argument(
+        "net spec: key 'jitter' expects a non-negative number, got '" +
+        *reader.find("jitter") + "'");
+  }
+  config.timeout = reader.get_double("timeout", config.timeout);
+  if (config.timeout <= 0.0) {
+    throw std::invalid_argument(
+        "net spec: key 'timeout' expects a positive number, got '" +
+        *reader.find("timeout") + "'");
+  }
+  config.retries =
+      static_cast<std::uint32_t>(reader.get_uint("retries", config.retries));
+  return config;
+}
+
+std::string_view NetworkConfig::keys_help() noexcept {
+  return "jitter, latency, loss, retries, timeout";
+}
+
+std::string NetworkConfig::canonical() const {
+  using support::format_double;
+  return "net:loss=" + format_double(loss) +
+         ",latency=" + latency.describe() +
+         ",jitter=" + format_double(jitter) +
+         ",timeout=" + format_double(timeout) +
+         ",retries=" + std::to_string(retries);
+}
+
+double Channel::draw_latency() {
+  double out = config_.latency.sample(rng_);
+  if (config_.jitter > 0.0) out += rng_.uniform_real(0.0, config_.jitter);
+  return out;
+}
+
+Channel::Delivery Channel::send(MessageMeter& meter, MessageClass cls) {
+  meter.count(cls);
+  if (ideal_) return Delivery{};
+  Delivery out;
+  if (rng_.bernoulli(config_.loss)) {
+    out.delivered = false;
+    return out;
+  }
+  out.latency = draw_latency();
+  return out;
+}
+
+Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls) {
+  if (ideal_) {
+    meter.count(cls);
+    return Delivery{};
+  }
+  Delivery out;
+  out.transmissions = 0;
+  for (std::uint32_t attempt = 0; attempt <= config_.retries; ++attempt) {
+    meter.count(cls);
+    ++out.transmissions;
+    if (!rng_.bernoulli(config_.loss)) {
+      out.latency += draw_latency();
+      return out;
+    }
+    out.latency += config_.timeout;  // sender waits before retransmitting
+  }
+  out.delivered = false;
+  return out;
+}
+
+Channel::Delivery Channel::send_reliable(MessageMeter& meter,
+                                         MessageClass cls) {
+  if (ideal_) {
+    meter.count(cls);
+    return Delivery{};
+  }
+  Delivery out;
+  out.transmissions = 0;
+  while (out.transmissions < kReliableCap) {
+    meter.count(cls);
+    ++out.transmissions;
+    if (!rng_.bernoulli(config_.loss)) break;
+    out.latency += config_.timeout;
+  }
+  out.latency += draw_latency();
+  return out;
+}
+
+}  // namespace p2pse::sim

@@ -1,0 +1,119 @@
+#pragma once
+// Unreliable message delivery — the physical-network layer the paper names
+// as future work (its §IV-A simulator counts messages only; its §V delay
+// discussion is an analytic conjecture). Every protocol message is pushed
+// through a Channel that draws per-message one-way latency from a
+// LatencyModel, adds optional uniform jitter, and drops the message with a
+// configurable probability.
+//
+// Determinism contract: the channel owns a dedicated RNG substream
+// (Simulator derives it via rng().split("channel")), so installing a
+// channel never perturbs estimator or churn randomness. A loss-free,
+// zero-latency channel takes a fast path that draws nothing at all and
+// therefore reproduces the reliable simulator bit-for-bit at any thread
+// count.
+//
+// Three delivery disciplines cover the protocols' reliability needs:
+//  * send          — one fire-and-forget transmission (gossip spreads,
+//                    poll replies, Aggregation exchanges: redundancy or a
+//                    round mask is the protocol's own repair mechanism);
+//  * send_arq      — bounded per-hop ARQ: up to 1+retries transmissions,
+//                    each loss detected after `timeout` (Sample&Collide
+//                    walk hops and sample replies);
+//  * send_reliable — retransmit until delivered (Random Tour hops: the
+//                    message carries the tour's irreplaceable accumulator,
+//                    the standard lossy-link adaptation is per-hop acks).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "p2pse/sim/latency.hpp"
+#include "p2pse/sim/message_meter.hpp"
+#include "p2pse/support/rng.hpp"
+
+namespace p2pse::sim {
+
+/// Parsed `net:` spec — the delivery layer's five knobs.
+struct NetworkConfig {
+  /// Per-transmission drop probability in [0, 1].
+  double loss = 0.0;
+  /// One-way per-message latency distribution.
+  LatencyModel latency = LatencyModel::constant(0.0);
+  /// Extra uniform jitter in [0, jitter) added to every sampled latency.
+  double jitter = 0.0;
+  /// Loss-detection wait: how long a sender (per-hop ARQ) or an initiator
+  /// (end-to-end retry) waits before declaring a message lost. Must be > 0.
+  double timeout = 50.0;
+  /// Retransmissions a bounded-ARQ send may use after the first attempt.
+  std::uint32_t retries = 2;
+
+  /// True when the channel cannot alter delivery at all: no loss, no
+  /// latency, no jitter. Ideal configs take the draw-nothing fast path.
+  [[nodiscard]] bool ideal() const noexcept {
+    return loss <= 0.0 && jitter <= 0.0 && latency.mean() <= 0.0;
+  }
+
+  /// Parses "net", "net:loss=0.05,latency=exp:50,timeout=100,...".
+  /// Latency grammar: constant:H | uniform:LO:HI | exp:MEAN.
+  /// Unknown keys, malformed values, loss outside [0,1], negative jitter,
+  /// a non-positive timeout and unknown latency models are hard errors
+  /// listing the valid candidates (registry style — a typo'd network spec
+  /// must never silently run the reliable simulator).
+  [[nodiscard]] static NetworkConfig parse(std::string_view text);
+
+  /// Valid spec keys, e.g. for error messages: "jitter, latency, loss,
+  /// retries, timeout".
+  [[nodiscard]] static std::string_view keys_help() noexcept;
+
+  /// Round-trip spec form: "net:loss=...,latency=...,jitter=...,
+  /// timeout=...,retries=...". parse(canonical()) reproduces the config up
+  /// to the 6-significant-digit rendering of its values — exact for every
+  /// spec a human types, lossy only for values needing more digits.
+  [[nodiscard]] std::string canonical() const;
+};
+
+class Channel {
+ public:
+  /// Outcome of one logical send (possibly several transmissions).
+  struct Delivery {
+    bool delivered = true;
+    /// Wall-clock from first transmission to delivery: sampled latencies
+    /// plus one `timeout` per lost transmission. For an undelivered ARQ
+    /// send this is the full (1+retries) * timeout wait.
+    double latency = 0.0;
+    /// Transmissions used; every one is counted on the meter.
+    std::uint32_t transmissions = 1;
+  };
+
+  /// The ideal channel: delivers everything at zero latency, draws nothing.
+  Channel() noexcept = default;
+
+  Channel(const NetworkConfig& config, support::RngStream rng)
+      : config_(config), rng_(rng), ideal_(config.ideal()) {}
+
+  [[nodiscard]] const NetworkConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] bool ideal() const noexcept { return ideal_; }
+
+  /// One fire-and-forget transmission.
+  Delivery send(MessageMeter& meter, MessageClass cls);
+
+  /// Bounded ARQ: up to 1 + config().retries transmissions; gives up after
+  /// that (Delivery.delivered == false).
+  Delivery send_arq(MessageMeter& meter, MessageClass cls);
+
+  /// Hop-reliable delivery: retransmits until the message gets through
+  /// (safety-capped; the cap can only bite at loss rates ~1).
+  Delivery send_reliable(MessageMeter& meter, MessageClass cls);
+
+ private:
+  [[nodiscard]] double draw_latency();
+
+  NetworkConfig config_{};
+  support::RngStream rng_{0};
+  bool ideal_ = true;
+};
+
+}  // namespace p2pse::sim

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "p2pse/support/csv.hpp"
+
 namespace p2pse::sim {
 
 LatencyModel LatencyModel::constant(double hop) {
@@ -39,6 +41,17 @@ double LatencyModel::mean() const noexcept {
     case Kind::kExponential: return a_;
   }
   return a_;
+}
+
+std::string LatencyModel::describe() const {
+  using support::format_double;
+  switch (kind_) {
+    case Kind::kConstant: return "constant:" + format_double(a_);
+    case Kind::kUniform:
+      return "uniform:" + format_double(a_) + ":" + format_double(b_);
+    case Kind::kExponential: return "exp:" + format_double(a_);
+  }
+  return "constant:" + format_double(a_);
 }
 
 double LatencyModel::sequential(std::uint64_t hops,

@@ -19,6 +19,7 @@
 // estimates under one of these models.
 
 #include <cstdint>
+#include <string>
 
 #include "p2pse/support/rng.hpp"
 
@@ -40,6 +41,10 @@ class LatencyModel {
 
   /// Mean per-hop latency.
   [[nodiscard]] double mean() const noexcept;
+
+  /// Spec-grammar round-trip form: "constant:5", "uniform:2:8", "exp:50"
+  /// (the `latency=` value accepted by sim::NetworkConfig::parse).
+  [[nodiscard]] std::string describe() const;
 
   /// Sum of `hops` independent hop latencies (sequential composition).
   [[nodiscard]] double sequential(std::uint64_t hops,

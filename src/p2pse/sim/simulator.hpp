@@ -1,12 +1,16 @@
 #pragma once
 // The simulation context shared by every protocol: the overlay graph, the
-// event queue, the simulated clock, the message meter and the root RNG.
-// Matches the paper's simulator contract (§IV-A): messages are counted;
-// physical topology, queuing delay and loss are not modelled.
+// event queue, the simulated clock, the message meter, the delivery
+// channel and the root RNG. The default matches the paper's simulator
+// contract (§IV-A): messages are counted, delivery is perfect. Installing
+// a non-ideal sim::NetworkConfig (set_network) adds the physical-network
+// behaviour the paper names as future work: per-message latency, jitter
+// and loss, routed through sim::Channel.
 
 #include <cstdint>
 
 #include "p2pse/net/graph.hpp"
+#include "p2pse/sim/channel.hpp"
 #include "p2pse/sim/event_queue.hpp"
 #include "p2pse/sim/message_meter.hpp"
 #include "p2pse/support/rng.hpp"
@@ -27,6 +31,28 @@ class Simulator {
   [[nodiscard]] MessageMeter& meter() noexcept { return meter_; }
   [[nodiscard]] const MessageMeter& meter() const noexcept { return meter_; }
   [[nodiscard]] support::RngStream& rng() noexcept { return rng_; }
+
+  [[nodiscard]] Channel& channel() noexcept { return channel_; }
+  [[nodiscard]] const Channel& channel() const noexcept { return channel_; }
+
+  /// Installs the delivery layer. The channel's RNG is a deterministic
+  /// substream of the root seed (split("channel")), so two simulators built
+  /// from the same seed see identical deliveries — and estimator streams
+  /// are never perturbed, whatever the network config.
+  void set_network(const NetworkConfig& config) {
+    channel_ = Channel(config, rng_.split("channel"));
+  }
+
+  /// Delivery shorthands: count on the meter, route through the channel.
+  Channel::Delivery send(MessageClass cls) {
+    return channel_.send(meter_, cls);
+  }
+  Channel::Delivery send_arq(MessageClass cls) {
+    return channel_.send_arq(meter_, cls);
+  }
+  Channel::Delivery send_reliable(MessageClass cls) {
+    return channel_.send_reliable(meter_, cls);
+  }
 
   [[nodiscard]] Time now() const noexcept { return now_; }
 
@@ -50,6 +76,7 @@ class Simulator {
   net::Graph graph_;
   EventQueue events_;
   MessageMeter meter_;
+  Channel channel_;
   support::RngStream rng_;
   Time now_ = 0.0;
 };

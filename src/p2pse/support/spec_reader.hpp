@@ -16,6 +16,21 @@ namespace p2pse::support {
 
 using SpecOverrides = std::vector<std::pair<std::string, std::string>>;
 
+/// Parsed "name[:key=value,...]" text — the shared surface grammar of
+/// estimator specs ("sample_collide:l=10,T=2") and network specs
+/// ("net:loss=0.05,latency=exp:50").
+struct ParsedSpec {
+  std::string name;
+  SpecOverrides overrides;
+};
+
+/// Tokenizes "name" / "name:k=v,k=v". `context` prefixes error messages
+/// (e.g. "estimator spec", "net spec"). Throws std::invalid_argument on an
+/// empty name or an override that is not of the form key=value. Key/value
+/// semantics stay with the caller.
+[[nodiscard]] ParsedSpec parse_spec(std::string_view text,
+                                    std::string_view context);
+
 class SpecValueReader {
  public:
   /// `context` prefixes every error message (e.g. the estimator or trace

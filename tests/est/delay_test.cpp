@@ -54,10 +54,10 @@ TEST(LatencyModel, SequentialSumsIndependentHops) {
 }
 
 TEST(LatencyModel, Validation) {
-  EXPECT_THROW(LatencyModel::constant(-1.0), std::invalid_argument);
-  EXPECT_THROW(LatencyModel::uniform(5.0, 2.0), std::invalid_argument);
-  EXPECT_THROW(LatencyModel::uniform(-1.0, 2.0), std::invalid_argument);
-  EXPECT_THROW(LatencyModel::exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)LatencyModel::constant(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)LatencyModel::uniform(5.0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)LatencyModel::uniform(-1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)LatencyModel::exponential(0.0), std::invalid_argument);
 }
 
 TEST(DelayAnalysis, SampleCollideDelayMatchesItsMessageCount) {

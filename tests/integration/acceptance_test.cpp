@@ -1,0 +1,247 @@
+// Statistical acceptance suite: seeded, tolerance-banded accuracy contracts
+// for every registry estimator on the static N=1000 overlay, and the
+// degradation contract under unreliable delivery (loss 0 -> 0.05 -> 0.20).
+//
+// The bands are calibrated for seed 42 with a margin over the observed
+// values; they are meant to catch regressions that change an estimator's
+// statistical behavior (a broken sampler, a silently-skipped reply phase,
+// an unmasked lossy exchange), not to re-measure the algorithms. All runs
+// are deterministic, so a band failure is a real behavioral change.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "p2pse/est/estimator.hpp"
+#include "p2pse/est/registry.hpp"
+#include "p2pse/harness/figures.hpp"
+#include "p2pse/harness/report.hpp"
+#include "p2pse/net/builders.hpp"
+#include "p2pse/sim/simulator.hpp"
+
+namespace p2pse::est {
+namespace {
+
+using support::RngStream;
+
+constexpr std::size_t kNodes = 1000;
+constexpr std::uint64_t kSeed = 42;
+constexpr std::size_t kPointRuns = 12;
+constexpr std::size_t kEpochRuns = 3;
+
+struct Outcome {
+  double rmse = 0.0;  ///< sqrt(mean(((est-truth)/truth)^2)) over valid runs
+  double bias = 0.0;  ///< mean((est-truth)/truth) over valid runs
+  std::size_t valid = 0;
+  std::size_t runs = 0;
+};
+
+/// Drives one registry estimator on the static N=1000 overlay through the
+/// given delivery layer. Streams are fixed functions of (kSeed, spec), so
+/// two calls with the same arguments are bit-identical.
+Outcome run_static(std::string_view spec, double loss,
+                   double hop_latency = 0.0) {
+  const RngStream root(kSeed);
+  RngStream graph_rng = root.split("graph");
+  sim::Simulator sim(
+      net::build_heterogeneous_random({kNodes, 1, 10}, graph_rng),
+      root.split("sim").seed());
+  sim::NetworkConfig net;
+  net.loss = loss;
+  net.latency = sim::LatencyModel::constant(hop_latency);
+  sim.set_network(net);
+
+  const std::unique_ptr<Estimator> estimator =
+      EstimatorRegistry::global().build(spec);
+  RngStream pick = root.split("initiator");
+  RngStream est_rng = root.split("estimator");
+  const net::NodeId initiator = sim.graph().random_alive(pick);
+  const double truth = static_cast<double>(sim.graph().size());
+
+  Outcome out;
+  double sq = 0.0, sum = 0.0;
+  const auto record = [&](const Estimate& e) {
+    ++out.runs;
+    if (!e.valid) return;
+    ++out.valid;
+    const double rel = (e.value - truth) / truth;
+    sq += rel * rel;
+    sum += rel;
+  };
+  if (estimator->mode() == Estimator::Mode::kPoint) {
+    for (std::size_t i = 0; i < kPointRuns; ++i) {
+      record(estimator->estimate_point(sim, initiator, est_rng));
+    }
+  } else {
+    for (std::size_t i = 0; i < kEpochRuns; ++i) {
+      estimator->start_epoch(sim, initiator, est_rng);
+      for (std::uint32_t r = 0; r < estimator->rounds_per_epoch(); ++r) {
+        estimator->run_round(sim, est_rng);
+      }
+      record(estimator->epoch_estimate(sim, initiator));
+    }
+  }
+  if (out.valid > 0) {
+    out.rmse = std::sqrt(sq / static_cast<double>(out.valid));
+    out.bias = sum / static_cast<double>(out.valid);
+  }
+  return out;
+}
+
+void expect_band(std::string_view spec, double max_rmse, double bias_lo,
+                 double bias_hi) {
+  const Outcome o = run_static(spec, /*loss=*/0.0);
+  ASSERT_EQ(o.valid, o.runs) << spec << ": invalid estimates on a reliable "
+                                        "static overlay";
+  EXPECT_LE(o.rmse, max_rmse)
+      << spec << ": rmse " << o.rmse << " out of band";
+  EXPECT_GE(o.bias, bias_lo) << spec << ": bias " << o.bias << " out of band";
+  EXPECT_LE(o.bias, bias_hi) << spec << ": bias " << o.bias << " out of band";
+}
+
+// --- per-estimator bands (reliable delivery) --------------------------------
+
+TEST(Acceptance, SampleCollideWithinBand) {
+  // Paper: oneShot mostly within 10%, peaks to 20%.
+  expect_band("sample_collide", 0.30, -0.20, 0.30);
+}
+
+TEST(Acceptance, HopsSamplingWithinBand) {
+  // Paper: systematic under-estimation from partial spread coverage.
+  expect_band("hops_sampling", 0.60, -0.55, 0.10);
+}
+
+TEST(Acceptance, RandomTourWithinBand) {
+  // Unbiased but heavy-tailed: a 12-run RMSE up to ~3x truth is in family.
+  expect_band("random_tour", 3.0, -0.9, 2.0);
+}
+
+TEST(Acceptance, IntervalDensityWithinBand) {
+  // With a fixed initiator every run reads the same leafset, so the suite
+  // sees a single density draw; its relative error concentrates like
+  // 1/sqrt(leafset) (~25% std at k=16), banded at ~4 sigma.
+  expect_band("interval_density", 1.2, -0.8, 1.2);
+}
+
+TEST(Acceptance, InvertedBirthdayWithinBand) {
+  // Naive first-collision baseline: enormous variance by construction.
+  expect_band("inverted_birthday", 4.0, -0.95, 3.0);
+}
+
+TEST(Acceptance, FlatPollingWithinBand) {
+  // Full flood + p=0.05 replies at N=1000: ~50 replies, ~15% noise.
+  expect_band("flat_polling", 0.40, -0.30, 0.30);
+}
+
+TEST(Acceptance, AggregationWithinBand) {
+  // 50 push-pull rounds at N=1000: converged to ~exact.
+  expect_band("aggregation", 0.02, -0.02, 0.02);
+}
+
+TEST(Acceptance, AggregationSuiteWithinBand) {
+  expect_band("aggregation_suite", 0.10, -0.10, 0.10);
+}
+
+TEST(Acceptance, EveryRegistryEstimatorIsCovered) {
+  // The band list above must track the registry: a new estimator without an
+  // acceptance band should fail here, not silently ship.
+  const auto names = EstimatorRegistry::global().names();
+  EXPECT_EQ(names.size(), 8u)
+      << "registry gained an estimator — add an acceptance band for it";
+}
+
+// --- degradation under loss (the ported protocols) --------------------------
+
+/// Asserts the loss contract for one ported estimator: every run still
+/// terminates with an estimate at every loss rate, accuracy degrades
+/// monotonically in loss up to `slack` of stochastic headroom, and stays
+/// bounded by `cap` even at 20% loss.
+void expect_loss_degradation(std::string_view spec, double slack,
+                             double cap) {
+  const Outcome at0 = run_static(spec, 0.0, /*hop_latency=*/1.0);
+  const Outcome at5 = run_static(spec, 0.05, /*hop_latency=*/1.0);
+  const Outcome at20 = run_static(spec, 0.2, /*hop_latency=*/1.0);
+  for (const Outcome* o : {&at0, &at5, &at20}) {
+    ASSERT_GT(o->runs, 0u);
+    EXPECT_EQ(o->valid, o->runs)
+        << spec << ": estimator failed to report under loss";
+  }
+  EXPECT_LE(at0.rmse, at5.rmse + slack)
+      << spec << ": rmse improved from loss 0 (" << at0.rmse << ") to 0.05 ("
+      << at5.rmse << ") beyond slack";
+  EXPECT_LE(at5.rmse, at20.rmse + slack)
+      << spec << ": rmse improved from loss 0.05 (" << at5.rmse
+      << ") to 0.20 (" << at20.rmse << ") beyond slack";
+  EXPECT_LE(at20.rmse, cap)
+      << spec << ": rmse " << at20.rmse << " unbounded at 20% loss";
+}
+
+TEST(AcceptanceLoss, SampleCollideDegradesBoundedly) {
+  // Per-hop ARQ + initiator relaunch: accuracy holds within noise.
+  expect_loss_degradation("sample_collide", 0.15, 0.40);
+}
+
+TEST(AcceptanceLoss, HopsSamplingDegradesBoundedly) {
+  // Dropped spreads and replies deepen the under-estimation monotonically.
+  expect_loss_degradation("hops_sampling", 0.15, 0.95);
+}
+
+TEST(AcceptanceLoss, RandomTourDegradesBoundedly) {
+  // Hop-reliable forwarding: identical estimates, only cost/delay grow.
+  expect_loss_degradation("random_tour", 0.05, 3.0);
+}
+
+TEST(AcceptanceLoss, FlatPollingDegradesBoundedly) {
+  expect_loss_degradation("flat_polling", 0.10, 0.60);
+}
+
+TEST(AcceptanceLoss, AggregationDegradesBoundedly) {
+  // Masked exchanges: a 50-round epoch still converges at N=1000, slightly
+  // less tightly.
+  expect_loss_degradation("aggregation", 0.02, 0.10);
+}
+
+// --- termination + determinism through the full harness ---------------------
+
+std::string render_matrix(const std::string& estimator, double rounds_per_unit,
+                          std::size_t threads) {
+  harness::MatrixOptions options;
+  options.estimator = estimator;
+  options.scenario = "static";
+  options.rounds_per_unit = rounds_per_unit;
+  options.params.nodes = 500;
+  options.params.estimations = 5;
+  options.params.replicas = 2;
+  options.params.seed = 7;
+  options.params.threads = threads;
+  options.params.net = "net:loss=0.2,latency=exp:5,timeout=25";
+  const harness::FigureReport report = harness::run_matrix(options);
+  std::ostringstream out;
+  harness::print_report(out, report);
+  return out.str();
+}
+
+TEST(AcceptanceLoss, PointModeLossyMatrixIsThreadCountInvariant) {
+  const std::string t1 = render_matrix("sample_collide:l=20,T=4", 10.0, 1);
+  EXPECT_EQ(render_matrix("sample_collide:l=20,T=4", 10.0, 2), t1);
+  EXPECT_EQ(render_matrix("sample_collide:l=20,T=4", 10.0, 8), t1);
+  // Every replica produced estimates despite 20% loss.
+  EXPECT_NE(t1.find("Estimation #2"), std::string::npos);
+}
+
+TEST(AcceptanceLoss, EpochModeLossyMatrixIsThreadCountInvariant) {
+  const std::string t1 = render_matrix("aggregation:rounds=20", 0.1, 1);
+  EXPECT_EQ(render_matrix("aggregation:rounds=20", 0.1, 2), t1);
+  EXPECT_EQ(render_matrix("aggregation:rounds=20", 0.1, 8), t1);
+}
+
+TEST(AcceptanceLoss, LossyRunsDeclareTheChannelInTheReport) {
+  const std::string report = render_matrix("random_tour", 10.0, 1);
+  EXPECT_NE(report.find("net:loss=0.2"), std::string::npos);
+  EXPECT_NE(report.find("mean measured delay"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2pse::est
