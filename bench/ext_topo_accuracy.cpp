@@ -1,0 +1,8 @@
+// Extension figure: estimator accuracy on clustered topology-aware
+// overlays (region sweep, per-link class loss + inter-region penalty). See
+// harness::figure_specs() row "ext_topo_accuracy".
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return p2pse::harness::figure_main(argc, argv, "ext_topo_accuracy");
+}

@@ -1,0 +1,8 @@
+// Extension figure: measured estimation delay vs mobile-peer fraction
+// under the per-link topology model (propagation + access latency). See
+// harness::figure_specs() row "ext_topo_delay".
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return p2pse::harness::figure_main(argc, argv, "ext_topo_delay");
+}

@@ -23,7 +23,7 @@ namespace p2pse::harness {
 inline constexpr std::string_view kFigureFlags[] = {
     "nodes",      "seed",   "estimations", "replicas", "l",
     "T",          "agg-rounds", "last-k",  "threads",  "csv",
-    "net",
+    "net",        "topo",
 };
 
 /// Maps the shared CLI flags onto `params`. Shared by figure_main and the
@@ -43,6 +43,7 @@ inline FigureParams figure_params_from_args(const support::Args& args,
   params.last_k = args.get_uint("last-k", params.last_k);
   params.threads = args.get_uint("threads", params.threads);
   params.net = args.get_string("net", params.net);
+  params.topo = args.get_string("topo", params.topo);
   return params;
 }
 
@@ -102,7 +103,11 @@ inline int figure_main(int argc, char** argv, std::string_view figure_id) {
           "  --net SPEC        delivery layer, e.g. "
           "net:loss=0.05,latency=exp:50,timeout=100\n"
           "                    (keys: loss, latency, jitter, timeout, "
-          "retries; default ideal)\n",
+          "retries; default ideal)\n"
+          "  --topo SPEC       per-link topology, e.g. "
+          "topo:clustered,regions=8,mix=0:0.2:0.8\n"
+          "                    (models: flat, classes, clustered; default "
+          "flat)\n",
           argv[0], std::string(spec->what).c_str(), d.nodes,
           static_cast<unsigned long long>(d.seed), d.estimations, d.replicas,
           d.sc_collisions, d.sc_timer, d.agg_rounds, d.last_k, d.threads);

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "p2pse/net/churn.hpp"
 #include "p2pse/net/cyclon.hpp"
 #include "p2pse/sim/simulator.hpp"
+#include "p2pse/topo/topology.hpp"
 #include "p2pse/trace/cursor.hpp"
 #include "p2pse/trace/generators.hpp"
 
@@ -167,6 +169,70 @@ void BM_ChannelSendArqLossy(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ChannelSendArqLossy);
+
+void BM_TopologyNodeDraw(benchmark::State& state) {
+  // Cost of embedding one node (coordinates + region + class) from its
+  // dedicated substream — paid once per node id per replica.
+  const topo::TopologyConfig config =
+      topo::TopologyConfig::parse("topo:clustered");
+  net::NodeId id = 0;
+  std::optional<topo::Topology> topology;
+  topology.emplace(config, support::RngStream(42).split("topo"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology->node(id++).x);
+    if (id == 100000) {  // re-embed instead of growing the cache unbounded
+      state.PauseTiming();
+      topology.emplace(config, support::RngStream(42).split("topo"));
+      id = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TopologyNodeDraw);
+
+void BM_ChannelSendPerLink(benchmark::State& state) {
+  // The per-link counterpart of BM_ChannelSendLossy: same i.i.d. knobs plus
+  // the clustered topology's link composition (cached embeddings — the
+  // steady state every protocol message pays).
+  sim::NetworkConfig config;
+  config.loss = 0.05;
+  config.latency = sim::LatencyModel::exponential(50.0);
+  topo::Topology topology(topo::TopologyConfig::parse("topo:clustered"),
+                          support::RngStream(42).split("topo"));
+  sim::Channel channel(config, support::RngStream(42));
+  channel.set_topology(&topology);
+  sim::MessageMeter meter;
+  support::RngStream pick(7);
+  for (auto _ : state) {
+    const auto from = static_cast<net::NodeId>(pick.uniform_u64(1000));
+    const auto to = static_cast<net::NodeId>(pick.uniform_u64(1000));
+    benchmark::DoNotOptimize(
+        channel.send(meter, sim::MessageClass::kWalkStep, from, to)
+            .delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelSendPerLink);
+
+void BM_AggregationRoundPerLink(benchmark::State& state) {
+  // Protocol-level cost of the per-link mode (compare BM_AggregationRound
+  // and BM_AggregationRoundLossy).
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  support::RngStream build_rng(42);
+  sim::Simulator sim(net::build_heterogeneous_random({nodes, 1, 10}, build_rng),
+                     43);
+  sim.set_topology(topo::TopologyConfig::parse("topo:clustered"));
+  support::RngStream rng(44);
+  est::Aggregation agg({.rounds_per_epoch = 50});
+  agg.start_epoch(sim, 0);
+  for (auto _ : state) {
+    agg.run_round(sim, rng);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AggregationRoundPerLink)->Arg(10000);
 
 void BM_AggregationRoundLossy(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));

@@ -19,6 +19,7 @@
 #include "p2pse/est/registry.hpp"
 #include "p2pse/scenario/scenarios.hpp"
 #include "p2pse/support/csv.hpp"
+#include "p2pse/topo/topology.hpp"
 #include "p2pse/trace/workloads.hpp"
 
 namespace {
@@ -41,6 +42,13 @@ void print_matrix_axes() {
     std::printf("  trace:%-14s keys: %s\n      %s\n",
                 std::string(model.name).c_str(),
                 std::string(model.keys).c_str(),
+                std::string(model.what).c_str());
+  }
+  std::printf("topology models (--topo topo:MODEL[,key=value,...]):\n");
+  for (const auto& model : p2pse::topo::topology_model_infos()) {
+    std::printf("  topo:%-15s keys: %s\n      %s\n",
+                std::string(model.name).c_str(),
+                model.keys.empty() ? "none" : std::string(model.keys).c_str(),
                 std::string(model.what).c_str());
   }
 }
@@ -75,8 +83,12 @@ int main(int argc, char** argv) {
           "net:loss=0.05,latency=exp:50\n"
           "                       (keys: loss, latency, jitter, timeout, "
           "retries; default ideal)\n"
-          "  --list               print every estimator, scenario, and trace "
-          "model with keys\n",
+          "  --topo SPEC          per-link topology, e.g. "
+          "topo:clustered,regions=8,mix=0:0.2:0.8\n"
+          "                       (models: flat, classes, clustered; default "
+          "flat)\n"
+          "  --list               print every estimator, scenario, trace "
+          "model, and topology model with keys\n",
           argv[0]);
       return 0;
     }
@@ -84,7 +96,7 @@ int main(int argc, char** argv) {
         "estimator", "scenario", "rounds-per-unit", "list",
         "nodes",     "seed",     "estimations",     "replicas",
         "l",         "T",        "agg-rounds",      "last-k",
-        "threads",   "csv",      "net",
+        "threads",   "csv",      "net",             "topo",
     };
     args.require_known(std::span<const std::string_view>(kFlags));
     const auto csv_path = harness::csv_path_from_args(args);

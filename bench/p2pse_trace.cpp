@@ -19,6 +19,7 @@
 #include "p2pse/est/registry.hpp"
 #include "p2pse/scenario/scenarios.hpp"
 #include "p2pse/support/csv.hpp"
+#include "p2pse/topo/topology.hpp"
 #include "p2pse/trace/trace.hpp"
 #include "p2pse/trace/workloads.hpp"
 
@@ -46,6 +47,13 @@ void print_axes() {
     std::printf(" %s", std::string(name).c_str());
   }
   std::printf("\n");
+  std::printf("topology models (replay --topo topo:MODEL[,key=value,...]):\n");
+  for (const auto& model : topo::topology_model_infos()) {
+    std::printf("  topo:%-15s keys: %s\n      %s\n",
+                std::string(model.name).c_str(),
+                model.keys.empty() ? "none" : std::string(model.keys).c_str(),
+                std::string(model.what).c_str());
+  }
 }
 
 void print_usage(const char* program) {
@@ -76,8 +84,10 @@ void print_usage(const char* program) {
       "  --csv PATH           replay: write per-replica series CSV\n"
       "  --net SPEC           replay: delivery layer "
       "(net:loss=...,latency=...,...)\n"
-      "  --list               print every trace model, estimator, and "
-      "scenario\n",
+      "  --topo SPEC          replay: per-link topology "
+      "(topo:clustered,regions=8,...)\n"
+      "  --list               print every trace model, estimator, scenario, "
+      "and topology model\n",
       program);
 }
 
@@ -199,6 +209,7 @@ int main(int argc, char** argv) {
         "rounds-per-unit", "replicas", "seed",  "threads",
         "csv",         "list",     "workload",  "l",
         "T",           "agg-rounds", "last-k",  "net",
+        "topo",
     };
     args.require_known(std::span<const std::string_view>(kFlags));
     if (args.get_bool("list", false)) {

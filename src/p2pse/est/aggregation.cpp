@@ -45,14 +45,14 @@ void Aggregation::run_round(sim::Simulator& sim, support::RngStream& rng) {
     const net::NodeId peer = graph.random_neighbor(id, rng);
     if (peer == net::kInvalidNode) continue;  // isolated node: nothing to do
     const sim::Channel::Delivery push =
-        sim.send(sim::MessageClass::kAggregationPush);
+        sim.send(sim::MessageClass::kAggregationPush, id, peer);
     if (!push.delivered) {
       masked = true;
       continue;
     }
     if (config_.push_pull) {
       const sim::Channel::Delivery pull =
-          sim.send(sim::MessageClass::kAggregationPull);
+          sim.send(sim::MessageClass::kAggregationPull, peer, id);
       if (!pull.delivered) {
         masked = true;
         continue;

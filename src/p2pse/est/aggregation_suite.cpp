@@ -52,13 +52,13 @@ void MultiAggregation::run_round(sim::Simulator& sim,
     // (ack-gated commit, as in the single-instance Aggregation) — mass is
     // conserved per instance, loss only slows convergence.
     const sim::Channel::Delivery push =
-        sim.send(sim::MessageClass::kAggregationPush);
+        sim.send(sim::MessageClass::kAggregationPush, id, peer);
     if (!push.delivered) {
       masked = true;
       continue;
     }
     const sim::Channel::Delivery pull =
-        sim.send(sim::MessageClass::kAggregationPull);
+        sim.send(sim::MessageClass::kAggregationPull, peer, id);
     if (!pull.delivered) {
       masked = true;
       continue;

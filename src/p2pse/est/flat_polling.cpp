@@ -41,7 +41,7 @@ FlatPollingResult FlatPolling::run_once(sim::Simulator& sim,
     for (const net::NodeId u : frontier) {
       for (const net::NodeId v : graph.neighbors(u)) {
         const sim::Channel::Delivery d =
-            sim.send(sim::MessageClass::kGossipSpread);
+            sim.send(sim::MessageClass::kGossipSpread, u, v);
         if (!d.delivered) continue;
         round_max = std::max(round_max, d.latency);
         if (!informed[v]) {
@@ -62,7 +62,7 @@ FlatPollingResult FlatPolling::run_once(sim::Simulator& sim,
     if (id == initiator || !informed[id]) continue;
     if (rng.bernoulli(config_.reply_probability)) {
       const sim::Channel::Delivery d =
-          sim.send(sim::MessageClass::kPollReply);
+          sim.send(sim::MessageClass::kPollReply, id, initiator);
       ++result.replies;
       if (d.delivered) {
         reply_max = std::max(reply_max, d.latency);
@@ -76,7 +76,7 @@ FlatPollingResult FlatPolling::run_once(sim::Simulator& sim,
   result.estimate.messages = sim.meter().since(baseline);
   const sim::Channel& channel = sim.channel();
   result.estimate.delay =
-      flood_delay + (channel.config().loss > 0.0
+      flood_delay + (channel.lossy()
                          ? std::max(reply_max, channel.config().timeout)
                          : reply_max);
   return result;

@@ -60,7 +60,7 @@ void HopsSampling::spread(sim::Simulator& sim, net::NodeId initiator,
     double round_max = 0.0;
     const auto deliver = [&](const Forwarder& fw, const net::NodeId target) {
       const sim::Channel::Delivery d =
-          sim.send(sim::MessageClass::kGossipSpread);
+          sim.send(sim::MessageClass::kGossipSpread, fw.node, target);
       if (!d.delivered) return;  // dropped gossip: the target never hears it
       round_max = std::max(round_max, d.latency);
       if (min_hops[target] == net::kUnreached) {
@@ -137,7 +137,7 @@ HopsSamplingResult HopsSampling::run_once(sim::Simulator& sim,
     const double p = reply_probability(h);
     if (rng.bernoulli(p)) {
       const sim::Channel::Delivery d =
-          sim.send(sim::MessageClass::kPollReply);
+          sim.send(sim::MessageClass::kPollReply, id, initiator);
       ++result.replies;
       if (d.delivered) {
         reply_max = std::max(reply_max, d.latency);
@@ -155,7 +155,7 @@ HopsSamplingResult HopsSampling::run_once(sim::Simulator& sim,
   // the poll open for its full timeout.
   const sim::Channel& channel = sim.channel();
   result.estimate.delay =
-      result.spread_delay + (channel.config().loss > 0.0
+      result.spread_delay + (channel.lossy()
                                  ? std::max(reply_max,
                                             channel.config().timeout)
                                  : reply_max);

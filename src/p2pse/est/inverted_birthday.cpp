@@ -26,7 +26,8 @@ InvertedBirthday::Sample InvertedBirthday::sample(
   for (std::uint32_t step = 0; step < config_.walk_length; ++step) {
     const net::NodeId next = graph.random_neighbor(current, rng);
     if (next == net::kInvalidNode) break;
-    out.elapsed += sim.send_reliable(sim::MessageClass::kWalkStep).latency;
+    out.elapsed +=
+        sim.send_reliable(sim::MessageClass::kWalkStep, current, next).latency;
     current = next;
     ++steps;
   }
@@ -34,7 +35,7 @@ InvertedBirthday::Sample InvertedBirthday::sample(
   // locally: no reply crosses the network (same rule as Sample&Collide).
   if (steps > 0) {
     const sim::Channel::Delivery reply =
-        sim.send_arq(sim::MessageClass::kSampleReply);
+        sim.send_arq(sim::MessageClass::kSampleReply, current, initiator);
     out.elapsed += reply.latency;
     out.lost = !reply.delivered;
   }

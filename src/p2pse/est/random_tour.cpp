@@ -30,7 +30,8 @@ Estimate RandomTour::estimate_once(sim::Simulator& sim, net::NodeId initiator,
       // mid-tour; impossible on a static undirected graph).
       return Estimate::invalid_at(sim.now(), sim.meter().since(baseline));
     }
-    delay += sim.send_reliable(sim::MessageClass::kWalkStep).latency;
+    delay +=
+        sim.send_reliable(sim::MessageClass::kWalkStep, current, next).latency;
     current = next;
     if (current == initiator) {
       Estimate estimate;

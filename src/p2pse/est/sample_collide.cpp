@@ -29,7 +29,7 @@ WalkSample SampleCollide::sample(sim::Simulator& sim, net::NodeId initiator,
     const net::NodeId next = graph.random_neighbor(current, rng);
     if (next == net::kInvalidNode) break;  // stuck: no neighbors to walk to
     const sim::Channel::Delivery hop =
-        sim.send_arq(sim::MessageClass::kWalkStep);
+        sim.send_arq(sim::MessageClass::kWalkStep, current, next);
     out.elapsed += hop.latency;
     if (!hop.delivered) {
       // Per-hop ARQ exhausted: the walk (and its timer state) is gone.
@@ -48,7 +48,7 @@ WalkSample SampleCollide::sample(sim::Simulator& sim, net::NodeId initiator,
   // initiator sampled itself locally and no message crosses the network.
   if (out.steps > 0) {
     const sim::Channel::Delivery reply =
-        sim.send_arq(sim::MessageClass::kSampleReply);
+        sim.send_arq(sim::MessageClass::kSampleReply, out.node, initiator);
     out.elapsed += reply.latency;
     if (!reply.delivered) out.lost = true;
   }

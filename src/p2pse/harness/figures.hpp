@@ -39,6 +39,11 @@ struct FigureParams {
   /// Empty = the ideal channel; an explicit all-ideal spec
   /// ("net:loss=0,latency=constant:0") produces byte-identical reports.
   std::string net{};
+  /// Per-link topology spec ("topo:clustered,regions=8,mix=0:0.2:0.8"),
+  /// parsed by topo::TopologyConfig::parse and installed on every replica's
+  /// simulator. Empty = the flat topology; an explicit "topo:flat" also
+  /// installs nothing and produces byte-identical reports.
+  std::string topo{};
 };
 
 struct FigureSpec;

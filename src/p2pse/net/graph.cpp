@@ -21,11 +21,13 @@ NodeId Graph::add_node() {
   slot.alive_pos = static_cast<std::uint32_t>(alive_.size());
   slots_.push_back(std::move(slot));
   alive_.push_back(id);
+  if (observer_) observer_->on_join(id);
   return id;
 }
 
 void Graph::remove_node(NodeId id) {
   if (!is_alive(id)) return;
+  if (observer_) observer_->on_leave(id);
   Slot& slot = slots_[id];
   // Detach from every neighbor; survivors keep their remaining links only.
   for (const NodeId nb : slot.adjacency) {

@@ -20,11 +20,57 @@ namespace p2pse::net {
 using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 
+/// Membership hook: notified after a node joins and before a node leaves.
+/// Non-owning subscribers (e.g. topo::Topology embedding churn-joined
+/// nodes) register via Graph::set_observer and must outlive the graph or
+/// detach first.
+class MembershipObserver {
+ public:
+  virtual ~MembershipObserver() = default;
+  virtual void on_join(NodeId id) { (void)id; }
+  virtual void on_leave(NodeId id) { (void)id; }
+};
+
 class Graph {
  public:
   Graph() = default;
   /// Pre-creates `initial_nodes` alive nodes with no edges.
   explicit Graph(std::size_t initial_nodes);
+
+  /// The observer is an attachment to THIS graph object, not part of the
+  /// overlay's value: copies and moved-to graphs start detached (a replica
+  /// copied from a shared prototype must never notify the prototype's
+  /// subscriber).
+  Graph(const Graph& other)
+      : slots_(other.slots_), alive_(other.alive_), edges_(other.edges_) {}
+  Graph(Graph&& other) noexcept
+      : slots_(std::move(other.slots_)), alive_(std::move(other.alive_)),
+        edges_(other.edges_) {}
+  Graph& operator=(const Graph& other) {
+    if (this != &other) {
+      slots_ = other.slots_;
+      alive_ = other.alive_;
+      edges_ = other.edges_;
+      observer_ = nullptr;
+    }
+    return *this;
+  }
+  Graph& operator=(Graph&& other) noexcept {
+    if (this != &other) {
+      slots_ = std::move(other.slots_);
+      alive_ = std::move(other.alive_);
+      edges_ = other.edges_;
+      observer_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Registers the (single, non-owning) membership observer; nullptr
+  /// detaches. Joins/leaves that already happened are not replayed — eager
+  /// subscribers scan alive_nodes() at attach time.
+  void set_observer(MembershipObserver* observer) noexcept {
+    observer_ = observer;
+  }
 
   /// Adds a new isolated alive node and returns its id.
   NodeId add_node();
@@ -85,6 +131,7 @@ class Graph {
   std::vector<Slot> slots_;
   std::vector<NodeId> alive_;
   std::size_t edges_ = 0;
+  MembershipObserver* observer_ = nullptr;
 };
 
 }  // namespace p2pse::net

@@ -41,16 +41,17 @@ Series ScenarioRunner::run(const est::Estimator& prototype,
                     support::RngStream& rng) {
           return instance->estimate_point(sim, initiator, rng);
         },
-        replica, options.network);
+        replica, options.network, options.topology);
   }
   return run_epochs(*instance, options.rounds_per_unit, replica,
-                    options.network);
+                    options.network, options.topology);
 }
 
 Series ScenarioRunner::run_point(std::size_t estimations,
                                  const PointEstimator& estimator,
                                  std::uint64_t replica,
-                                 const sim::NetworkConfig& network) const {
+                                 const sim::NetworkConfig& network,
+                                 const topo::TopologyConfig& topology) const {
   if (estimations == 0) return {};
   const support::RngStream root = support::RngStream(seed_).split("replica", replica);
   support::RngStream graph_rng = root.split("graph");
@@ -60,6 +61,7 @@ Series ScenarioRunner::run_point(std::size_t estimations,
 
   sim::Simulator sim(factory_(graph_rng), root.split("sim").seed());
   sim.set_network(network);
+  sim.set_topology(topology);  // no-op (and no draws) for a flat config
   const std::unique_ptr<DynamicsCursor> cursor =
       dynamics_->bind(sim.graph(), churn_rng);
 
@@ -95,7 +97,8 @@ Series ScenarioRunner::run_point(std::size_t estimations,
 Series ScenarioRunner::run_epochs(est::Estimator& estimator,
                                   double rounds_per_unit,
                                   std::uint64_t replica,
-                                  const sim::NetworkConfig& network) const {
+                                  const sim::NetworkConfig& network,
+                                  const topo::TopologyConfig& topology) const {
   if (rounds_per_unit <= 0.0) {
     throw std::invalid_argument("ScenarioRunner: rounds_per_unit must be > 0");
   }
@@ -112,6 +115,7 @@ Series ScenarioRunner::run_epochs(est::Estimator& estimator,
 
   sim::Simulator sim(factory_(graph_rng), root.split("sim").seed());
   sim.set_network(network);
+  sim.set_topology(topology);  // no-op (and no draws) for a flat config
   const std::unique_ptr<DynamicsCursor> cursor =
       dynamics_->bind(sim.graph(), churn_rng);
 

@@ -33,6 +33,7 @@
 #include "p2pse/scenario/timeline.hpp"
 #include "p2pse/sim/simulator.hpp"
 #include "p2pse/support/rng.hpp"
+#include "p2pse/topo/topology.hpp"
 
 namespace p2pse::scenario {
 
@@ -70,6 +71,12 @@ class ScenarioRunner {
     /// is the ideal channel, which reproduces the reliable simulator
     /// bit-for-bit (sim::Channel's draw-nothing fast path).
     sim::NetworkConfig network{};
+    /// Per-link topology installed on every replica's simulator. The
+    /// default (flat) installs nothing: the channel stays on its i.i.d.
+    /// path and the run is byte-identical to a topology-less one. Each
+    /// replica's embedding draws from its own sim's split("topo")
+    /// substream, so churn-joined nodes embed deterministically.
+    topo::TopologyConfig topology{};
   };
 
   /// `seed` is the root seed; replica r derives graph/estimator/churn
@@ -93,7 +100,8 @@ class ScenarioRunner {
   [[nodiscard]] Series run_point(
       std::size_t estimations, const PointEstimator& estimator,
       std::uint64_t replica = 0,
-      const sim::NetworkConfig& network = sim::NetworkConfig{}) const;
+      const sim::NetworkConfig& network = sim::NetworkConfig{},
+      const topo::TopologyConfig& topology = topo::TopologyConfig{}) const;
 
   [[nodiscard]] const Dynamics& dynamics() const noexcept {
     return *dynamics_;
@@ -103,7 +111,8 @@ class ScenarioRunner {
   [[nodiscard]] Series run_epochs(est::Estimator& estimator,
                                   double rounds_per_unit,
                                   std::uint64_t replica,
-                                  const sim::NetworkConfig& network) const;
+                                  const sim::NetworkConfig& network,
+                                  const topo::TopologyConfig& topology) const;
   [[nodiscard]] net::NodeId ensure_initiator(const net::Graph& graph,
                                              net::NodeId current,
                                              support::RngStream& rng) const;

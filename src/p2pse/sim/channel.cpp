@@ -6,6 +6,7 @@
 
 #include "p2pse/support/csv.hpp"
 #include "p2pse/support/spec_reader.hpp"
+#include "p2pse/topo/topology.hpp"
 
 namespace p2pse::sim {
 namespace {
@@ -18,7 +19,7 @@ constexpr std::uint32_t kReliableCap = 256;
 [[noreturn]] void bad_latency(std::string_view value, const std::string& why) {
   throw std::invalid_argument(
       "net spec: key 'latency' expects constant:H | uniform:LO:HI | "
-      "exp:MEAN, got '" +
+      "exp:MEAN | lognormal:MU:SIGMA | pareto:XM:ALPHA, got '" +
       std::string(value) + "'" + (why.empty() ? "" : " (" + why + ")"));
 }
 
@@ -64,6 +65,22 @@ LatencyModel parse_latency(std::string_view value) {
     if (args.size() != 1) bad_latency(value, "exp takes one argument");
     try {
       return LatencyModel::exponential(args[0]);
+    } catch (const std::invalid_argument& error) {
+      bad_latency(value, error.what());
+    }
+  }
+  if (model == "lognormal") {
+    if (args.size() != 2) bad_latency(value, "lognormal takes two arguments");
+    try {
+      return LatencyModel::lognormal(args[0], args[1]);
+    } catch (const std::invalid_argument& error) {
+      bad_latency(value, error.what());
+    }
+  }
+  if (model == "pareto") {
+    if (args.size() != 2) bad_latency(value, "pareto takes two arguments");
+    try {
+      return LatencyModel::pareto(args[0], args[1]);
     } catch (const std::invalid_argument& error) {
       bad_latency(value, error.what());
     }
@@ -139,7 +156,21 @@ double Channel::draw_latency() {
   return out;
 }
 
+bool Channel::lossy() const noexcept {
+  return config_.loss > 0.0 || (topo_ != nullptr && topo_->lossy());
+}
+
+void Channel::require_iid(const char* method) const {
+  if (topo_ != nullptr) {
+    throw std::logic_error(
+        std::string("Channel::") + method +
+        ": a per-link topology is installed; this message must name its "
+        "(from, to) endpoints so the link can be priced");
+  }
+}
+
 Channel::Delivery Channel::send(MessageMeter& meter, MessageClass cls) {
+  require_iid("send");
   meter.count(cls);
   if (ideal_) return Delivery{};
   Delivery out;
@@ -152,6 +183,7 @@ Channel::Delivery Channel::send(MessageMeter& meter, MessageClass cls) {
 }
 
 Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls) {
+  require_iid("send_arq");
   if (ideal_) {
     meter.count(cls);
     return Delivery{};
@@ -173,6 +205,7 @@ Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls) {
 
 Channel::Delivery Channel::send_reliable(MessageMeter& meter,
                                          MessageClass cls) {
+  require_iid("send_reliable");
   if (ideal_) {
     meter.count(cls);
     return Delivery{};
@@ -186,6 +219,83 @@ Channel::Delivery Channel::send_reliable(MessageMeter& meter,
     out.latency += config_.timeout;
   }
   out.latency += draw_latency();
+  return out;
+}
+
+// --- per-link mode -----------------------------------------------------------
+//
+// Per-link deliveries compose the link's deterministic parameters with the
+// channel's own i.i.d. knobs:
+//   p(drop)  = 1 - (1-config.loss) * (1-link.loss)
+//   latency  = i.i.d. draw (+ i.i.d. jitter) + link.latency
+//              + one uniform [0, link.jitter_span) access-jitter draw
+// Retransmissions (ARQ / reliable) stay on the SAME link: the link
+// parameters are computed once per logical send, the stochastic terms are
+// re-drawn per attempt.
+
+namespace {
+
+double compose_loss(double iid_loss, double link_loss) noexcept {
+  return 1.0 - (1.0 - iid_loss) * (1.0 - link_loss);
+}
+
+}  // namespace
+
+double Channel::draw_link_latency(const topo::Topology::LinkParams& link) {
+  double out = draw_latency() + link.latency;
+  if (link.jitter_span > 0.0) out += rng_.uniform_real(0.0, link.jitter_span);
+  return out;
+}
+
+Channel::Delivery Channel::send(MessageMeter& meter, MessageClass cls,
+                                net::NodeId from, net::NodeId to) {
+  if (topo_ == nullptr) return send(meter, cls);
+  meter.count(cls);
+  const topo::Topology::LinkParams link = topo_->link(from, to);
+  const double loss = compose_loss(config_.loss, link.loss);
+  Delivery out;
+  if (rng_.bernoulli(loss)) {
+    out.delivered = false;
+    return out;
+  }
+  out.latency = draw_link_latency(link);
+  return out;
+}
+
+Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls,
+                                    net::NodeId from, net::NodeId to) {
+  if (topo_ == nullptr) return send_arq(meter, cls);
+  const topo::Topology::LinkParams link = topo_->link(from, to);
+  const double loss = compose_loss(config_.loss, link.loss);
+  Delivery out;
+  out.transmissions = 0;
+  for (std::uint32_t attempt = 0; attempt <= config_.retries; ++attempt) {
+    meter.count(cls);
+    ++out.transmissions;
+    if (!rng_.bernoulli(loss)) {
+      out.latency += draw_link_latency(link);
+      return out;
+    }
+    out.latency += config_.timeout;
+  }
+  out.delivered = false;
+  return out;
+}
+
+Channel::Delivery Channel::send_reliable(MessageMeter& meter, MessageClass cls,
+                                         net::NodeId from, net::NodeId to) {
+  if (topo_ == nullptr) return send_reliable(meter, cls);
+  const topo::Topology::LinkParams link = topo_->link(from, to);
+  const double loss = compose_loss(config_.loss, link.loss);
+  Delivery out;
+  out.transmissions = 0;
+  while (out.transmissions < kReliableCap) {
+    meter.count(cls);
+    ++out.transmissions;
+    if (!rng_.bernoulli(loss)) break;
+    out.latency += config_.timeout;
+  }
+  out.latency += draw_link_latency(link);
   return out;
 }
 

@@ -28,9 +28,11 @@
 #include <string>
 #include <string_view>
 
+#include "p2pse/net/graph.hpp"
 #include "p2pse/sim/latency.hpp"
 #include "p2pse/sim/message_meter.hpp"
 #include "p2pse/support/rng.hpp"
+#include "p2pse/topo/topology.hpp"
 
 namespace p2pse::sim {
 
@@ -55,7 +57,8 @@ struct NetworkConfig {
   }
 
   /// Parses "net", "net:loss=0.05,latency=exp:50,timeout=100,...".
-  /// Latency grammar: constant:H | uniform:LO:HI | exp:MEAN.
+  /// Latency grammar: constant:H | uniform:LO:HI | exp:MEAN |
+  /// lognormal:MU:SIGMA | pareto:XM:ALPHA.
   /// Unknown keys, malformed values, loss outside [0,1], negative jitter,
   /// a non-positive timeout and unknown latency models are hard errors
   /// listing the valid candidates (registry style — a typo'd network spec
@@ -97,6 +100,24 @@ class Channel {
   }
   [[nodiscard]] bool ideal() const noexcept { return ideal_; }
 
+  /// Installs per-link mode: every endpoint-taking send composes the i.i.d.
+  /// `net:` parameters with the topology's per-link latency/loss/jitter.
+  /// The caller (Simulator) only installs NON-flat topologies — a flat
+  /// topology stays on the i.i.d. draw path, which is what keeps every
+  /// pre-topology binary byte-identical — and must keep `topology` alive
+  /// for the channel's lifetime. nullptr returns to pure i.i.d. mode.
+  void set_topology(topo::Topology* topology) noexcept { topo_ = topology; }
+  [[nodiscard]] bool per_link() const noexcept { return topo_ != nullptr; }
+  [[nodiscard]] const topo::Topology* topology() const noexcept {
+    return topo_;
+  }
+
+  /// True when some transmission can be dropped — by the i.i.d. loss knob
+  /// or by any per-link class/region loss. The poll protocols use this to
+  /// decide whether the initiator must hold its reply window open for the
+  /// full timeout.
+  [[nodiscard]] bool lossy() const noexcept;
+
   /// One fire-and-forget transmission.
   Delivery send(MessageMeter& meter, MessageClass cls);
 
@@ -108,12 +129,31 @@ class Channel {
   /// (safety-capped; the cap can only bite at loss rates ~1).
   Delivery send_reliable(MessageMeter& meter, MessageClass cls);
 
+  /// Per-link variants: delivery parameters are composed for the concrete
+  /// (from, to) pair when a topology is installed; without one they are the
+  /// plain i.i.d. sends (endpoints ignored). The endpoint-LESS overloads
+  /// above throw std::logic_error once a topology is installed — a message
+  /// without endpoints cannot be priced per-link, and silently falling back
+  /// to i.i.d. would corrupt topology sweeps.
+  Delivery send(MessageMeter& meter, MessageClass cls, net::NodeId from,
+                net::NodeId to);
+  Delivery send_arq(MessageMeter& meter, MessageClass cls, net::NodeId from,
+                    net::NodeId to);
+  Delivery send_reliable(MessageMeter& meter, MessageClass cls,
+                         net::NodeId from, net::NodeId to);
+
  private:
   [[nodiscard]] double draw_latency();
+  /// One delivered per-link transmission's latency: the i.i.d. draw plus
+  /// the link's deterministic terms plus one access-jitter draw. All three
+  /// per-link disciplines share it, keeping their draw sequences aligned.
+  [[nodiscard]] double draw_link_latency(const topo::Topology::LinkParams& link);
+  void require_iid(const char* method) const;
 
   NetworkConfig config_{};
   support::RngStream rng_{0};
   bool ideal_ = true;
+  topo::Topology* topo_ = nullptr;
 };
 
 }  // namespace p2pse::sim

@@ -1,5 +1,7 @@
 #include "p2pse/sim/latency.hpp"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "p2pse/support/csv.hpp"
@@ -25,11 +27,30 @@ LatencyModel LatencyModel::exponential(double mean) {
   return LatencyModel(Kind::kExponential, mean, 0.0);
 }
 
+LatencyModel LatencyModel::lognormal(double mu, double sigma) {
+  if (sigma < 0.0) {
+    throw std::invalid_argument("LatencyModel: lognormal sigma must be >= 0");
+  }
+  return LatencyModel(Kind::kLognormal, mu, sigma);
+}
+
+LatencyModel LatencyModel::pareto(double xm, double alpha) {
+  if (xm <= 0.0) {
+    throw std::invalid_argument("LatencyModel: pareto xm must be > 0");
+  }
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("LatencyModel: pareto alpha must be > 0");
+  }
+  return LatencyModel(Kind::kPareto, xm, alpha);
+}
+
 double LatencyModel::sample(support::RngStream& rng) const {
   switch (kind_) {
     case Kind::kConstant: return a_;
     case Kind::kUniform: return rng.uniform_real(a_, b_);
     case Kind::kExponential: return rng.exponential(1.0 / a_);
+    case Kind::kLognormal: return std::exp(rng.normal(a_, b_));
+    case Kind::kPareto: return rng.pareto(a_, b_);
   }
   return a_;
 }
@@ -39,6 +60,10 @@ double LatencyModel::mean() const noexcept {
     case Kind::kConstant: return a_;
     case Kind::kUniform: return 0.5 * (a_ + b_);
     case Kind::kExponential: return a_;
+    case Kind::kLognormal: return std::exp(a_ + 0.5 * b_ * b_);
+    case Kind::kPareto:
+      return b_ > 1.0 ? b_ * a_ / (b_ - 1.0)
+                      : std::numeric_limits<double>::infinity();
   }
   return a_;
 }
@@ -50,6 +75,10 @@ std::string LatencyModel::describe() const {
     case Kind::kUniform:
       return "uniform:" + format_double(a_) + ":" + format_double(b_);
     case Kind::kExponential: return "exp:" + format_double(a_);
+    case Kind::kLognormal:
+      return "lognormal:" + format_double(a_) + ":" + format_double(b_);
+    case Kind::kPareto:
+      return "pareto:" + format_double(a_) + ":" + format_double(b_);
   }
   return "constant:" + format_double(a_);
 }

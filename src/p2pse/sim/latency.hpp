@@ -35,6 +35,12 @@ class LatencyModel {
   [[nodiscard]] static LatencyModel uniform(double lo, double hi);
   /// Hop latency exponential with the given mean (heavy-ish tail).
   [[nodiscard]] static LatencyModel exponential(double mean);
+  /// Hop latency lognormal: exp(Normal(mu, sigma)) — the RTT shape wide-area
+  /// measurement studies report. mu is the log-scale location, sigma >= 0.
+  [[nodiscard]] static LatencyModel lognormal(double mu, double sigma);
+  /// Hop latency Pareto with scale xm > 0, shape alpha > 0 (power-law tail;
+  /// alpha <= 1 has infinite mean — legal, but mean() reports +inf).
+  [[nodiscard]] static LatencyModel pareto(double xm, double alpha);
 
   /// Draws one hop latency.
   [[nodiscard]] double sample(support::RngStream& rng) const;
@@ -42,8 +48,9 @@ class LatencyModel {
   /// Mean per-hop latency.
   [[nodiscard]] double mean() const noexcept;
 
-  /// Spec-grammar round-trip form: "constant:5", "uniform:2:8", "exp:50"
-  /// (the `latency=` value accepted by sim::NetworkConfig::parse).
+  /// Spec-grammar round-trip form: "constant:5", "uniform:2:8", "exp:50",
+  /// "lognormal:3:0.8", "pareto:2:2.5" (the `latency=` value accepted by
+  /// sim::NetworkConfig::parse).
   [[nodiscard]] std::string describe() const;
 
   /// Sum of `hops` independent hop latencies (sequential composition).
@@ -51,7 +58,7 @@ class LatencyModel {
                                   support::RngStream& rng) const;
 
  private:
-  enum class Kind { kConstant, kUniform, kExponential };
+  enum class Kind { kConstant, kUniform, kExponential, kLognormal, kPareto };
   LatencyModel(Kind kind, double a, double b) : kind_(kind), a_(a), b_(b) {}
   Kind kind_;
   double a_;

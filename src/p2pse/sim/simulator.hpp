@@ -8,12 +8,14 @@
 // and loss, routed through sim::Channel.
 
 #include <cstdint>
+#include <memory>
 
 #include "p2pse/net/graph.hpp"
 #include "p2pse/sim/channel.hpp"
 #include "p2pse/sim/event_queue.hpp"
 #include "p2pse/sim/message_meter.hpp"
 #include "p2pse/support/rng.hpp"
+#include "p2pse/topo/topology.hpp"
 
 namespace p2pse::sim {
 
@@ -23,6 +25,35 @@ class Simulator {
   /// components should derive substreams via rng().split(tag).
   Simulator(net::Graph graph, std::uint64_t seed)
       : graph_(std::move(graph)), rng_(seed) {}
+
+  /// Not copyable (the topology is uniquely owned). Movable, but NOT by
+  /// default: the topology observes this object's graph_ member, so a move
+  /// must re-attach it to the new location (the graph's own move resets its
+  /// observer precisely to prevent notifications to a stale subscriber).
+  /// The channel's topology pointer stays valid — the Topology lives on the
+  /// heap.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  Simulator(Simulator&& other) noexcept
+      : graph_(std::move(other.graph_)), events_(std::move(other.events_)),
+        meter_(other.meter_), channel_(std::move(other.channel_)),
+        topology_(std::move(other.topology_)), rng_(other.rng_),
+        now_(other.now_) {
+    if (topology_) topology_->attach(graph_);
+  }
+  Simulator& operator=(Simulator&& other) noexcept {
+    if (this != &other) {
+      graph_ = std::move(other.graph_);
+      events_ = std::move(other.events_);
+      meter_ = other.meter_;
+      channel_ = std::move(other.channel_);
+      topology_ = std::move(other.topology_);
+      rng_ = other.rng_;
+      now_ = other.now_;
+      if (topology_) topology_->attach(graph_);
+    }
+    return *this;
+  }
 
   [[nodiscard]] net::Graph& graph() noexcept { return graph_; }
   [[nodiscard]] const net::Graph& graph() const noexcept { return graph_; }
@@ -38,12 +69,38 @@ class Simulator {
   /// Installs the delivery layer. The channel's RNG is a deterministic
   /// substream of the root seed (split("channel")), so two simulators built
   /// from the same seed see identical deliveries — and estimator streams
-  /// are never perturbed, whatever the network config.
+  /// are never perturbed, whatever the network config. An installed
+  /// topology survives the channel swap.
   void set_network(const NetworkConfig& config) {
     channel_ = Channel(config, rng_.split("channel"));
+    if (topology_) channel_.set_topology(topology_.get());
+  }
+
+  /// Installs the per-link topology layer. The embedding draws from a
+  /// dedicated split("topo") substream (estimator/churn/channel streams
+  /// untouched), attaches to the overlay so churn-joined nodes embed
+  /// eagerly, and switches the channel to per-link pricing. A FLAT config
+  /// installs nothing at all: the channel stays on its i.i.d. draw path and
+  /// the run is byte-identical to one that never mentioned a topology.
+  void set_topology(const topo::TopologyConfig& config) {
+    if (config.flat()) {
+      channel_.set_topology(nullptr);
+      topology_.reset();
+      return;
+    }
+    topology_ = std::make_unique<topo::Topology>(config, rng_.split("topo"));
+    topology_->attach(graph_);
+    channel_.set_topology(topology_.get());
+  }
+
+  /// The installed topology; nullptr when flat/absent.
+  [[nodiscard]] topo::Topology* topology() noexcept {
+    return topology_.get();
   }
 
   /// Delivery shorthands: count on the meter, route through the channel.
+  /// The endpoint-taking forms are what the protocols use; under a per-link
+  /// topology the endpoint-less forms throw (see Channel).
   Channel::Delivery send(MessageClass cls) {
     return channel_.send(meter_, cls);
   }
@@ -52,6 +109,17 @@ class Simulator {
   }
   Channel::Delivery send_reliable(MessageClass cls) {
     return channel_.send_reliable(meter_, cls);
+  }
+  Channel::Delivery send(MessageClass cls, net::NodeId from, net::NodeId to) {
+    return channel_.send(meter_, cls, from, to);
+  }
+  Channel::Delivery send_arq(MessageClass cls, net::NodeId from,
+                             net::NodeId to) {
+    return channel_.send_arq(meter_, cls, from, to);
+  }
+  Channel::Delivery send_reliable(MessageClass cls, net::NodeId from,
+                                  net::NodeId to) {
+    return channel_.send_reliable(meter_, cls, from, to);
   }
 
   [[nodiscard]] Time now() const noexcept { return now_; }
@@ -77,6 +145,10 @@ class Simulator {
   EventQueue events_;
   MessageMeter meter_;
   Channel channel_;
+  /// Heap-allocated so the channel's and graph's raw observer pointers stay
+  /// stable; declared after graph_/channel_ so it detaches (destructor)
+  /// while both are still alive.
+  std::unique_ptr<topo::Topology> topology_;
   support::RngStream rng_;
   Time now_ = 0.0;
 };

@@ -50,6 +50,22 @@ double RngStream::exponential(double rate) noexcept {
   return -std::log(uniform_real_open0()) / rate;
 }
 
+double RngStream::normal(double mean, double stddev) noexcept {
+  // Box-Muller, cosine branch only: one variate per call from a fixed two
+  // uniforms, no cached second variate (cached state would break split()'s
+  // copy semantics and clone-based replication).
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const double r = std::sqrt(-2.0 * std::log(uniform_real_open0()));
+  return mean + stddev * r * std::cos(kTwoPi * uniform_real());
+}
+
+double RngStream::pareto(double xm, double alpha) noexcept {
+  if (xm <= 0.0 || alpha <= 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return xm * std::pow(uniform_real_open0(), -1.0 / alpha);
+}
+
 std::vector<std::size_t> RngStream::sample_without_replacement(std::size_t n,
                                                                std::size_t k) {
   if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");

@@ -129,6 +129,13 @@ class RngStream {
   /// Exponentially distributed variate with the given rate (mean 1/rate).
   [[nodiscard]] double exponential(double rate = 1.0) noexcept;
 
+  /// Normally distributed variate (Box-Muller; consumes exactly two uniforms
+  /// per call, so streams stay aligned regardless of the values drawn).
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Pareto variate with scale xm > 0 and shape alpha > 0 (inverse CDF).
+  [[nodiscard]] double pareto(double xm, double alpha) noexcept;
+
   /// Fisher–Yates shuffle of a span.
   template <typename T>
   void shuffle(std::span<T> values) noexcept {

@@ -4,6 +4,26 @@
 #include <stdexcept>
 
 namespace p2pse::support {
+namespace {
+
+/// Appends one override, rejecting a repeated key: a duplicate is almost
+/// always an editing mistake in a sweep command line, and silently letting
+/// one occurrence win would corrupt the comparison the spec was written
+/// for.
+void push_override(SpecOverrides& overrides, std::string_view key,
+                   std::string_view value, std::string_view context,
+                   const std::string& name) {
+  for (const auto& [existing, unused] : overrides) {
+    if (existing == key) {
+      throw std::invalid_argument(std::string(context) + " '" + name +
+                                  "': duplicate key '" + std::string(key) +
+                                  "'");
+    }
+  }
+  overrides.emplace_back(std::string(key), std::string(value));
+}
+
+}  // namespace
 
 ParsedSpec parse_spec(std::string_view text, std::string_view context) {
   ParsedSpec spec;
@@ -27,8 +47,45 @@ ParsedSpec parse_spec(std::string_view text, std::string_view context) {
                                   "': override '" + std::string(item) +
                                   "' is not of the form key=value");
     }
-    spec.overrides.emplace_back(std::string(item.substr(0, eq)),
-                                std::string(item.substr(eq + 1)));
+    push_override(spec.overrides, item.substr(0, eq), item.substr(eq + 1),
+                  context, spec.name);
+  }
+  return spec;
+}
+
+ParsedSpec parse_model_spec(std::string_view text, std::string_view context) {
+  ParsedSpec spec;
+  std::size_t item_index = 0;
+  while (!text.empty() || item_index == 0) {
+    const std::size_t comma = text.find(',');
+    const std::string_view item = text.substr(0, comma);
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+    ++item_index;
+    if (item.empty()) {
+      if (item_index == 1) {
+        throw std::invalid_argument(std::string(context) +
+                                    ": empty model name");
+      }
+      continue;
+    }
+    const std::size_t eq = item.find('=');
+    if (item_index == 1) {
+      if (eq != std::string_view::npos) {
+        throw std::invalid_argument(
+            std::string(context) + ": first item must be a model name, got '" +
+            std::string(item) + "'");
+      }
+      spec.name = std::string(item);
+      continue;
+    }
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument(std::string(context) + " '" + spec.name +
+                                  "': override '" + std::string(item) +
+                                  "' is not of the form key=value");
+    }
+    push_override(spec.overrides, item.substr(0, eq), item.substr(eq + 1),
+                  context, spec.name);
   }
   return spec;
 }

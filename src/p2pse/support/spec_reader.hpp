@@ -26,10 +26,18 @@ struct ParsedSpec {
 
 /// Tokenizes "name" / "name:k=v,k=v". `context` prefixes error messages
 /// (e.g. "estimator spec", "net spec"). Throws std::invalid_argument on an
-/// empty name or an override that is not of the form key=value. Key/value
-/// semantics stay with the caller.
+/// empty name, an override that is not of the form key=value, or a
+/// duplicate key. Key/value semantics stay with the caller.
 [[nodiscard]] ParsedSpec parse_spec(std::string_view text,
                                     std::string_view context);
+
+/// Tokenizes the comma-separated model grammar "MODEL[,key=value,...]"
+/// shared by the trace and topology registries (their specs carry the model
+/// name as the first comma item instead of a ':'-separated prefix). Same
+/// strictness as parse_spec: empty model names, malformed overrides, and
+/// duplicate keys are hard errors prefixed with `context`.
+[[nodiscard]] ParsedSpec parse_model_spec(std::string_view text,
+                                          std::string_view context);
 
 class SpecValueReader {
  public:

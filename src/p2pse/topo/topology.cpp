@@ -1,0 +1,365 @@
+#include "p2pse/topo/topology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "p2pse/support/csv.hpp"
+#include "p2pse/support/spec_reader.hpp"
+
+namespace p2pse::topo {
+namespace {
+
+using support::format_double;
+
+[[noreturn]] void bad_spec(const std::string& why) {
+  throw std::invalid_argument("topo spec: " + why);
+}
+
+/// Splits a colon-separated numeric tuple ("0.1:0.6:0.3", "40:0.03:15").
+std::vector<double> parse_tuple(std::string_view key, const std::string& raw,
+                                std::size_t arity) {
+  std::vector<double> out;
+  std::string_view rest = raw;
+  while (!rest.empty()) {
+    const std::size_t colon = rest.find(':');
+    const std::string token(rest.substr(0, colon));
+    rest = colon == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(colon + 1);
+    try {
+      std::size_t consumed = 0;
+      out.push_back(std::stod(token, &consumed));
+      if (consumed != token.size()) throw std::invalid_argument("trailing");
+    } catch (const std::exception&) {
+      bad_spec("key '" + std::string(key) + "': '" + token +
+               "' is not a number");
+    }
+  }
+  if (out.size() != arity) {
+    bad_spec("key '" + std::string(key) + "' expects " +
+             std::to_string(arity) + " colon-separated numbers, got '" + raw +
+             "'");
+  }
+  return out;
+}
+
+ClassProfile parse_class(std::string_view key, const std::string& raw) {
+  const std::vector<double> t = parse_tuple(key, raw, 3);
+  if (t[0] < 0.0) {
+    bad_spec("key '" + std::string(key) + "': access latency must be >= 0");
+  }
+  if (t[1] < 0.0 || t[1] > 1.0) {
+    bad_spec("key '" + std::string(key) + "': loss must be in [0, 1]");
+  }
+  if (t[2] < 0.0) {
+    bad_spec("key '" + std::string(key) + "': jitter must be >= 0");
+  }
+  return ClassProfile{t[0], t[1], t[2]};
+}
+
+void apply_class_keys(TopologyConfig& config,
+                      const support::SpecValueReader& reader) {
+  constexpr std::string_view kClassKeys[kPeerClassCount] = {"dc", "bb", "mob"};
+  if (const std::string* mix = reader.find("mix")) {
+    const std::vector<double> t = parse_tuple("mix", *mix, kPeerClassCount);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kPeerClassCount; ++i) {
+      if (t[i] < 0.0) bad_spec("key 'mix': fractions must be >= 0");
+      sum += t[i];
+    }
+    if (sum <= 0.0) bad_spec("key 'mix': fractions must sum to > 0");
+    for (std::size_t i = 0; i < kPeerClassCount; ++i) {
+      config.mix[i] = t[i] / sum;
+    }
+  }
+  for (std::size_t i = 0; i < kPeerClassCount; ++i) {
+    if (const std::string* raw = reader.find(kClassKeys[i])) {
+      config.classes[i] = parse_class(kClassKeys[i], *raw);
+    }
+  }
+}
+
+void require_known_keys(const support::ParsedSpec& parsed,
+                        std::string_view valid_keys) {
+  for (const auto& [key, value] : parsed.overrides) {
+    bool known = false;
+    std::string_view rest = valid_keys;
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      std::string_view token = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(comma + 1);
+      while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+      known |= (token == key);
+    }
+    if (!known) {
+      bad_spec(parsed.name + ": unknown key '" + key + "' (valid keys: " +
+               (valid_keys.empty() ? "none" : std::string(valid_keys)) + ")");
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view peer_class_name(PeerClass cls) noexcept {
+  switch (cls) {
+    case PeerClass::kDatacenter: return "datacenter";
+    case PeerClass::kBroadband: return "broadband";
+    case PeerClass::kMobile: return "mobile";
+  }
+  return "datacenter";
+}
+
+const std::vector<TopologyModelInfo>& topology_model_infos() {
+  static const std::vector<TopologyModelInfo> infos = {
+      {"flat", "",
+       "homogeneous zero-distance network — the i.i.d. channel fast path"},
+      {"classes", "mix, dc, bb, mob",
+       "heterogeneous access classes (datacenter/broadband/mobile), zero "
+       "distance"},
+      {"clustered",
+       "regions, spread, world, background, prop, penalty, mix, dc, bb, mob",
+       "k Gaussian regions + uniform background, per-class access links, "
+       "distance-proportional propagation, inter-region loss penalty"},
+  };
+  return infos;
+}
+
+bool TopologyConfig::flat() const noexcept {
+  if (lossy()) return false;
+  if (prop > 0.0) return false;
+  for (std::size_t i = 0; i < kPeerClassCount; ++i) {
+    if (mix[i] <= 0.0) continue;
+    const ClassProfile& cls = classes[i];
+    if (cls.access_latency > 0.0 || cls.jitter > 0.0) return false;
+  }
+  return true;
+}
+
+bool TopologyConfig::lossy() const noexcept {
+  if (penalty > 0.0 && regions > 1) return true;
+  for (std::size_t i = 0; i < kPeerClassCount; ++i) {
+    if (mix[i] > 0.0 && classes[i].loss > 0.0) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// The class-bearing models' defaults: a small datacenter core, a broadband
+/// majority, a mobile tail — latencies in the channel's latency units,
+/// losses per transmission.
+TopologyConfig class_model_defaults() {
+  TopologyConfig config;
+  config.mix = {0.1, 0.6, 0.3};
+  config.classes = {
+      ClassProfile{1.0, 0.0, 0.5},     // datacenter
+      ClassProfile{15.0, 0.01, 5.0},   // broadband
+      ClassProfile{40.0, 0.03, 15.0},  // mobile
+  };
+  return config;
+}
+
+/// The clustered model's default geometry on top of the class defaults.
+TopologyConfig clustered_defaults() {
+  TopologyConfig config = class_model_defaults();
+  config.regions = 4;
+  config.spread = 50.0;
+  config.world = 1000.0;
+  config.background = 0.1;
+  config.prop = 0.02;
+  config.penalty = 0.01;
+  return config;
+}
+
+}  // namespace
+
+TopologyConfig TopologyConfig::parse(std::string_view text) {
+  constexpr std::string_view kPrefix = "topo";
+  if (text.substr(0, kPrefix.size()) != kPrefix ||
+      (text.size() > kPrefix.size() && text[kPrefix.size()] != ':')) {
+    bad_spec("'" + std::string(text) +
+             "' must start with 'topo' (e.g. topo:clustered,regions=8)");
+  }
+  // "topo" alone is the default-constructed flat identity.
+  if (text.size() <= kPrefix.size()) return TopologyConfig{};
+
+  const support::ParsedSpec parsed =
+      support::parse_model_spec(text.substr(kPrefix.size() + 1), "topo spec");
+  const TopologyModelInfo* info = nullptr;
+  for (const TopologyModelInfo& candidate : topology_model_infos()) {
+    if (candidate.name == parsed.name) info = &candidate;
+  }
+  if (!info) {
+    std::string known;
+    for (const TopologyModelInfo& candidate : topology_model_infos()) {
+      if (!known.empty()) known += ", ";
+      known += candidate.name;
+    }
+    bad_spec("unknown model '" + parsed.name + "' (known: " + known + ")");
+  }
+  require_known_keys(parsed, info->keys);
+  const support::SpecValueReader reader("topo spec", parsed.overrides);
+  if (parsed.name == "flat") return TopologyConfig{};
+
+  // Both class-bearing models start from the default class table/mix.
+  TopologyConfig config =
+      parsed.name == "classes" ? class_model_defaults() : clustered_defaults();
+  config.model = parsed.name;
+  apply_class_keys(config, reader);
+  if (parsed.name == "classes") return config;
+
+  // clustered: the full geometric model.
+  config.regions = reader.get_uint("regions", config.regions);
+  config.spread = reader.get_double("spread", config.spread);
+  config.world = reader.get_double("world", config.world);
+  config.background = reader.get_double("background", config.background);
+  config.prop = reader.get_double("prop", config.prop);
+  config.penalty = reader.get_double("penalty", config.penalty);
+  if (config.spread < 0.0) bad_spec("key 'spread' must be >= 0");
+  if (config.world < 0.0) bad_spec("key 'world' must be >= 0");
+  if (config.background < 0.0 || config.background > 1.0) {
+    bad_spec("key 'background' expects a fraction in [0, 1]");
+  }
+  if (config.prop < 0.0) bad_spec("key 'prop' must be >= 0");
+  if (config.penalty < 0.0 || config.penalty >= 1.0) {
+    bad_spec("key 'penalty' expects a loss factor in [0, 1)");
+  }
+  return config;
+}
+
+std::string TopologyConfig::canonical() const {
+  if (model == "flat") return "topo:flat";
+  std::string out = "topo:" + model;
+  if (model == "clustered") {
+    out += ",regions=" + std::to_string(regions) +
+           ",spread=" + format_double(spread) +
+           ",world=" + format_double(world) +
+           ",background=" + format_double(background) +
+           ",prop=" + format_double(prop) +
+           ",penalty=" + format_double(penalty);
+  }
+  out += ",mix=" + format_double(mix[0]) + ":" + format_double(mix[1]) + ":" +
+         format_double(mix[2]);
+  constexpr std::string_view kClassKeys[kPeerClassCount] = {"dc", "bb", "mob"};
+  for (std::size_t i = 0; i < kPeerClassCount; ++i) {
+    out += "," + std::string(kClassKeys[i]) + "=" +
+           format_double(classes[i].access_latency) + ":" +
+           format_double(classes[i].loss) + ":" +
+           format_double(classes[i].jitter);
+  }
+  return out;
+}
+
+Topology::Topology(const TopologyConfig& config, support::RngStream rng)
+    : config_(config), rng_(rng), flat_(config.flat()),
+      lossy_(config.lossy()) {
+  // Region centers come from their own substream so the per-node draws are
+  // independent of the region count (adding a region moves no node that
+  // kept its region index).
+  support::RngStream centers = rng_.split("centers");
+  centers_.reserve(config_.regions);
+  for (std::size_t r = 0; r < config_.regions; ++r) {
+    const double x = centers.uniform_real(0.0, config_.world);
+    const double y = centers.uniform_real(0.0, config_.world);
+    centers_.emplace_back(x, y);
+  }
+}
+
+Topology::~Topology() {
+  if (attached_) attached_->set_observer(nullptr);
+}
+
+const Topology::NodeInfo& Topology::materialize(net::NodeId id) {
+  if (id >= nodes_.size()) nodes_.resize(id + 1);
+  std::optional<NodeInfo>& slot = nodes_[id];
+  if (slot) return *slot;
+  // Everything about the node comes from its own substream: draws for node
+  // A can never shift draws for node B, and the materialization order
+  // (query order, join order) is irrelevant — which is exactly the
+  // churn-rejoin stability the replay tests pin.
+  support::RngStream rng = rng_.split("node", id);
+  NodeInfo info;
+  info.region = config_.regions > 0 ? static_cast<std::uint32_t>(
+                                          rng.uniform_u64(config_.regions))
+                                    : 0;
+  const bool in_background = rng.bernoulli(config_.background);
+  if (!in_background && info.region < centers_.size()) {
+    info.x = centers_[info.region].first + config_.spread * rng.normal();
+    info.y = centers_[info.region].second + config_.spread * rng.normal();
+  } else {
+    info.x = rng.uniform_real(0.0, config_.world);
+    info.y = rng.uniform_real(0.0, config_.world);
+  }
+  const double u = rng.uniform_real();
+  double acc = 0.0;
+  info.cls = static_cast<PeerClass>(kPeerClassCount - 1);
+  for (std::size_t i = 0; i < kPeerClassCount; ++i) {
+    acc += config_.mix[i];
+    if (u < acc) {
+      info.cls = static_cast<PeerClass>(i);
+      break;
+    }
+  }
+  slot = info;
+  return *slot;
+}
+
+const Topology::NodeInfo& Topology::node(net::NodeId id) {
+  return materialize(id);
+}
+
+Topology::LinkParams Topology::link(net::NodeId from, net::NodeId to) {
+  const NodeInfo a = materialize(from);
+  const NodeInfo& b = materialize(to);
+  const ClassProfile& ca = config_.classes[static_cast<std::size_t>(a.cls)];
+  const ClassProfile& cb = config_.classes[static_cast<std::size_t>(b.cls)];
+  LinkParams out;
+  out.latency = ca.access_latency + cb.access_latency;
+  if (config_.prop > 0.0) {
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    out.latency += config_.prop * std::sqrt(dx * dx + dy * dy);
+  }
+  out.jitter_span = ca.jitter + cb.jitter;
+  double keep = (1.0 - ca.loss) * (1.0 - cb.loss);
+  if (config_.penalty > 0.0 && a.region != b.region) {
+    keep *= 1.0 - config_.penalty;
+  }
+  out.loss = 1.0 - keep;
+  return out;
+}
+
+void Topology::attach(net::Graph& graph) {
+  if (attached_) attached_->set_observer(nullptr);
+  attached_ = &graph;
+  graph.set_observer(this);
+  alive_counts_ = {};
+  for (const net::NodeId id : graph.alive_nodes()) {
+    const NodeInfo& info = materialize(id);
+    ++alive_counts_[static_cast<std::size_t>(info.cls)];
+  }
+}
+
+void Topology::on_join(net::NodeId id) {
+  const NodeInfo& info = materialize(id);
+  ++alive_counts_[static_cast<std::size_t>(info.cls)];
+}
+
+void Topology::on_leave(net::NodeId id) {
+  const NodeInfo& info = materialize(id);
+  std::size_t& count = alive_counts_[static_cast<std::size_t>(info.cls)];
+  if (count > 0) --count;
+}
+
+double Topology::mean_access_latency() const noexcept {
+  double total = 0.0;
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < kPeerClassCount; ++i) {
+    total += static_cast<double>(alive_counts_[i]) *
+             config_.classes[i].access_latency;
+    alive += alive_counts_[i];
+  }
+  return alive > 0 ? total / static_cast<double>(alive) : 0.0;
+}
+
+}  // namespace p2pse::topo

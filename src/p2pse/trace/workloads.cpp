@@ -27,7 +27,9 @@ struct ParsedSpec {
 ParsedSpec parse_spec(std::string_view text) {
   ParsedSpec spec;
   // "file=PATH" consumes the whole remainder: paths may legally contain
-  // commas, so the key=value grammar must not split them.
+  // commas, so the key=value grammar must not split them. Everything else
+  // is the shared "MODEL[,key=value,...]" grammar (support::parse_model_spec
+  // also enforces the duplicate-key rule).
   constexpr std::string_view kFilePrefix = "file=";
   if (text.substr(0, kFilePrefix.size()) == kFilePrefix) {
     spec.model = "file";
@@ -35,32 +37,9 @@ ParsedSpec parse_spec(std::string_view text) {
                                 std::string(text.substr(kFilePrefix.size())));
     return spec;
   }
-  std::size_t item_index = 0;
-  while (!text.empty() || item_index == 0) {
-    const std::size_t comma = text.find(',');
-    const std::string_view item = text.substr(0, comma);
-    text = comma == std::string_view::npos ? std::string_view{}
-                                           : text.substr(comma + 1);
-    ++item_index;
-    if (item.empty()) {
-      if (item_index == 1) bad_spec("empty model name");
-      continue;
-    }
-    const std::size_t eq = item.find('=');
-    if (item_index == 1 && eq == std::string_view::npos) {
-      spec.model = std::string(item);
-      continue;
-    }
-    if (item_index == 1) {
-      bad_spec("first item must be a model name, got '" + std::string(item) +
-               "'");
-    }
-    if (eq == std::string_view::npos || eq == 0) {
-      bad_spec("'" + std::string(item) + "' is not of the form key=value");
-    }
-    spec.overrides.emplace_back(std::string(item.substr(0, eq)),
-                                std::string(item.substr(eq + 1)));
-  }
+  support::ParsedSpec parsed = support::parse_model_spec(text, "trace spec");
+  spec.model = std::move(parsed.name);
+  spec.overrides = std::move(parsed.overrides);
   return spec;
 }
 

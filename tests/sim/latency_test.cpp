@@ -1,0 +1,112 @@
+// Latency-model distributions: the lognormal and Pareto tails PR 4 left
+// undone — moment and quantile checks at a fixed seed, spec round trips,
+// and constructor validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "p2pse/sim/channel.hpp"
+#include "p2pse/sim/latency.hpp"
+#include "p2pse/support/rng.hpp"
+
+namespace p2pse::sim {
+namespace {
+
+std::vector<double> draw(const LatencyModel& model, std::size_t n,
+                         std::uint64_t seed = 42) {
+  support::RngStream rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(model.sample(rng));
+  return out;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (const double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double quantile_of(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  return xs[static_cast<std::size_t>(q * static_cast<double>(xs.size() - 1))];
+}
+
+TEST(LatencyLognormal, MomentsMatchTheClosedForm) {
+  const double mu = 3.0, sigma = 0.8;
+  const LatencyModel model = LatencyModel::lognormal(mu, sigma);
+  EXPECT_DOUBLE_EQ(model.mean(), std::exp(mu + 0.5 * sigma * sigma));
+  const std::vector<double> xs = draw(model, 200000);
+  EXPECT_NEAR(mean_of(xs), model.mean(), 0.02 * model.mean());
+  // Median of a lognormal is exp(mu); log-variance is sigma^2.
+  EXPECT_NEAR(quantile_of(xs, 0.5), std::exp(mu), 0.02 * std::exp(mu));
+  double log_var = 0.0;
+  for (const double x : xs) {
+    const double d = std::log(x) - mu;
+    log_var += d * d;
+  }
+  log_var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(log_var, sigma * sigma, 0.02);
+  for (const double x : xs) ASSERT_GT(x, 0.0);
+}
+
+TEST(LatencyLognormal, SigmaZeroIsDegenerateAtExpMu) {
+  const LatencyModel model = LatencyModel::lognormal(2.0, 0.0);
+  for (const double x : draw(model, 10)) {
+    EXPECT_DOUBLE_EQ(x, std::exp(2.0));
+  }
+}
+
+TEST(LatencyPareto, QuantilesMatchTheInverseCdf) {
+  const double xm = 2.0, alpha = 2.5;
+  const LatencyModel model = LatencyModel::pareto(xm, alpha);
+  EXPECT_DOUBLE_EQ(model.mean(), alpha * xm / (alpha - 1.0));
+  const std::vector<double> xs = draw(model, 200000);
+  EXPECT_NEAR(mean_of(xs), model.mean(), 0.03 * model.mean());
+  // Q(q) = xm * (1-q)^(-1/alpha).
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double expected = xm * std::pow(1.0 - q, -1.0 / alpha);
+    EXPECT_NEAR(quantile_of(xs, q), expected, 0.05 * expected) << "q=" << q;
+  }
+  for (const double x : xs) ASSERT_GE(x, xm);
+}
+
+TEST(LatencyPareto, HeavyShapeReportsInfiniteMean) {
+  EXPECT_TRUE(std::isinf(LatencyModel::pareto(1.0, 1.0).mean()));
+  EXPECT_TRUE(std::isinf(LatencyModel::pareto(1.0, 0.5).mean()));
+}
+
+TEST(LatencyModels, DescribeRoundTripsThroughTheNetSpec) {
+  for (const char* spec :
+       {"net:latency=lognormal:3:0.8", "net:latency=pareto:2:2.5"}) {
+    const NetworkConfig config = NetworkConfig::parse(spec);
+    const NetworkConfig reparsed = NetworkConfig::parse(config.canonical());
+    EXPECT_EQ(reparsed.latency.describe(), config.latency.describe());
+    EXPECT_FALSE(config.ideal());  // both tails have positive mean
+  }
+}
+
+TEST(LatencyModels, SamplesAreSeedDeterministic) {
+  const LatencyModel model = LatencyModel::pareto(2.0, 2.5);
+  EXPECT_EQ(draw(model, 100, 7), draw(model, 100, 7));
+  EXPECT_NE(draw(model, 100, 7), draw(model, 100, 8));
+}
+
+TEST(LatencyModels, ConstructorAndSpecValidation) {
+  EXPECT_THROW((void)LatencyModel::lognormal(0.0, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)LatencyModel::pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)LatencyModel::pareto(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)NetworkConfig::parse("net:latency=lognormal:3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)NetworkConfig::parse("net:latency=pareto:2:0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)NetworkConfig::parse("net:latency=pareto:2:2.5:1"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2pse::sim

@@ -1,0 +1,166 @@
+// Harness-level topology locks: flat byte-identity against the
+// pre-topology reports, thread-count determinism of the topology figures
+// and of clustered matrix runs, and the --topo strictness rules (figures
+// that do not route the topology must reject a non-flat spec).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "p2pse/harness/figures.hpp"
+
+namespace p2pse::harness {
+namespace {
+
+std::string render(const FigureReport& report) {
+  std::ostringstream out;
+  print_report(out, report);
+  return out.str();
+}
+
+FigureParams small_params(std::string_view figure) {
+  FigureParams params = find_figure(figure)->defaults;
+  params.nodes = 600;
+  params.estimations = 6;
+  params.replicas = 2;
+  params.seed = 7;
+  params.threads = 2;
+  return params;
+}
+
+TEST(TopoFigures, Fig01IdenticalThroughAnExplicitFlatTopology) {
+  const FigureParams bare = small_params("fig01");
+  FigureParams routed = bare;
+  routed.topo = "topo:flat";
+  EXPECT_EQ(render(run_figure("fig01", routed)),
+            render(run_figure("fig01", bare)));
+}
+
+TEST(TopoFigures, Fig05IdenticalThroughAnExplicitFlatTopology) {
+  const FigureParams bare = small_params("fig05");
+  FigureParams routed = bare;
+  routed.topo = "topo:flat";
+  EXPECT_EQ(render(run_figure("fig05", routed)),
+            render(run_figure("fig05", bare)));
+}
+
+TEST(TopoFigures, MatrixIdenticalThroughAnExplicitFlatTopology) {
+  MatrixOptions bare;
+  bare.estimator = "random_tour";
+  bare.scenario = "oscillating";
+  bare.params.nodes = 400;
+  bare.params.estimations = 5;
+  bare.params.replicas = 2;
+  bare.params.seed = 7;
+  MatrixOptions routed = bare;
+  routed.params.topo = "topo:flat";
+  EXPECT_EQ(render(run_matrix(routed)), render(run_matrix(bare)));
+}
+
+// The acceptance criterion: topology figures and clustered runs must be
+// byte-identical at any thread count.
+TEST(TopoFigures, ExtTopoAccuracyByteIdenticalAcrossThreadCounts) {
+  FigureParams params = small_params("ext_topo_accuracy");
+  params.nodes = 300;
+  params.estimations = 3;
+  params.threads = 1;
+  const std::string t1 = render(run_figure("ext_topo_accuracy", params));
+  params.threads = 2;
+  const std::string t2 = render(run_figure("ext_topo_accuracy", params));
+  params.threads = 8;
+  const std::string t8 = render(run_figure("ext_topo_accuracy", params));
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
+TEST(TopoFigures, ExtTopoDelayByteIdenticalAcrossThreadCounts) {
+  FigureParams params = small_params("ext_topo_delay");
+  params.nodes = 300;
+  params.estimations = 3;
+  params.threads = 1;
+  const std::string t1 = render(run_figure("ext_topo_delay", params));
+  params.threads = 8;
+  const std::string t8 = render(run_figure("ext_topo_delay", params));
+  EXPECT_EQ(t1, t8);
+}
+
+TEST(TopoFigures, ClusteredFigureRunByteIdenticalAcrossThreadCounts) {
+  // A paper figure routed through a clustered topology (and churn, via the
+  // dynamic generator): per-replica split("topo") streams must make the
+  // fan-out order irrelevant.
+  FigureParams params = small_params("fig09");
+  params.nodes = 400;
+  params.replicas = 4;
+  params.topo = "topo:clustered,regions=3,mix=0:0.5:0.5";
+  params.threads = 1;
+  const std::string t1 = render(run_figure("fig09", params));
+  params.threads = 4;
+  const std::string t4 = render(run_figure("fig09", params));
+  EXPECT_EQ(t1, t4);
+  // The topology must be visible in the params line (not silently flat).
+  EXPECT_NE(t1.find("topo:clustered"), std::string::npos);
+}
+
+TEST(TopoFigures, NonRoutingFiguresRejectANonFlatTopology) {
+  for (const char* figure :
+       {"table1", "ablation_delay", "fig07", "ext_loss_accuracy"}) {
+    FigureParams params = small_params(figure);
+    params.topo = "topo:clustered";
+    EXPECT_THROW((void)run_figure(figure, params), std::invalid_argument)
+        << figure;
+    // An explicitly flat spec is fine everywhere.
+    params.topo = "topo:flat";
+    EXPECT_NO_THROW((void)run_figure(figure, params)) << figure;
+  }
+}
+
+TEST(TopoFigures, ExtTopoFiguresRejectExternalNetAndTopoSpecs) {
+  FigureParams params = small_params("ext_topo_accuracy");
+  params.nodes = 200;
+  params.topo = "topo:clustered";
+  EXPECT_THROW((void)run_figure("ext_topo_accuracy", params),
+               std::invalid_argument);
+  params.topo.clear();
+  params.net = "net:loss=0.1";
+  EXPECT_THROW((void)run_figure("ext_topo_accuracy", params),
+               std::invalid_argument);
+}
+
+TEST(TopoFigures, ChannellessEstimatorRejectsTopo) {
+  MatrixOptions options;
+  options.estimator = "interval_density";
+  options.scenario = "static";
+  options.params.nodes = 300;
+  options.params.estimations = 3;
+  options.params.replicas = 1;
+  options.params.topo = "topo:clustered";
+  EXPECT_THROW((void)run_matrix(options), std::invalid_argument);
+}
+
+TEST(TopoFigures, ClusteredMatrixRunsForAllPortedProtocols) {
+  // The 5 channel-ported protocols each complete a clustered-topology
+  // matrix run under churn and report a non-zero measured delay.
+  for (const char* estimator :
+       {"sample_collide:l=10,T=2", "hops_sampling", "random_tour",
+        "flat_polling:p=0.1", "aggregation:rounds=5"}) {
+    MatrixOptions options;
+    options.estimator = estimator;
+    options.scenario = "growing";
+    options.rounds_per_unit = 0.5;
+    options.params.nodes = 300;
+    options.params.estimations = 3;
+    options.params.replicas = 1;
+    options.params.seed = 11;
+    options.params.topo = "topo:clustered,regions=2";
+    const FigureReport report = run_matrix(options);
+    bool delay_note = false;
+    for (const std::string& note : report.notes) {
+      delay_note |= note.find("mean measured delay") != std::string::npos;
+    }
+    EXPECT_TRUE(delay_note) << estimator;
+  }
+}
+
+}  // namespace
+}  // namespace p2pse::harness
