@@ -182,6 +182,7 @@ void BM_TopologyNodeDraw(benchmark::State& state) {
     benchmark::DoNotOptimize(topology->node(id++).x);
     if (id == 100000) {  // re-embed instead of growing the cache unbounded
       state.PauseTiming();
+      // p2pse-lint: allow(dup-split) intentional: re-derives the SAME stream to rebuild an identical topology with an empty cache
       topology.emplace(config, support::RngStream(42).split("topo"));
       id = 0;
       state.ResumeTiming();

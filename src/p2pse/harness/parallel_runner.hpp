@@ -12,6 +12,8 @@
 #include <functional>
 #include <vector>
 
+#include "p2pse/support/check.hpp"
+
 namespace p2pse::harness {
 
 class ParallelReplicaRunner {
@@ -32,7 +34,30 @@ class ParallelReplicaRunner {
   [[nodiscard]] std::vector<R> map(
       std::size_t jobs, const std::function<R(std::size_t)>& fn) const {
     std::vector<R> results(jobs);
+#if P2PSE_CHECK_ENABLED
+    // Dispatch contract: byte-identical reports rest on the pool invoking
+    // every job index exactly once — a double dispatch would overwrite a
+    // finished replica's slot, a skipped one would merge a default-
+    // constructed result. Each flag is written by exactly one job, so the
+    // accounting adds no synchronization.
+    std::vector<unsigned char> ran(jobs, 0);
+    run(jobs, [&](std::size_t i) {
+      P2PSE_CHECK_MSG(i < jobs,
+                      "ParallelReplicaRunner: job index out of range");
+      P2PSE_CHECK_MSG(ran[i] == 0,
+                      "ParallelReplicaRunner: job dispatched twice — replica "
+                      "results would be overwritten");
+      ran[i] = 1;
+      results[i] = fn(i);
+    });
+    for (std::size_t i = 0; i < jobs; ++i) {
+      P2PSE_CHECK_MSG(ran[i] == 1,
+                      "ParallelReplicaRunner: job never dispatched — a "
+                      "default-constructed result would be merged");
+    }
+#else
     run(jobs, [&](std::size_t i) { results[i] = fn(i); });
+#endif
     return results;
   }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "p2pse/support/check.hpp"
+
 namespace p2pse::net {
 
 Graph::Graph(std::size_t initial_nodes) {
@@ -27,7 +29,16 @@ NodeId Graph::add_node() {
 
 void Graph::remove_node(NodeId id) {
   if (!is_alive(id)) return;
+  // Alive-index contract: the dense alive list and the per-slot back
+  // pointers must agree BEFORE the swap-remove below relies on them — and
+  // an observer's on_leave must not have churned the graph re-entrantly.
+  P2PSE_CHECK_MSG(slots_[id].alive_pos < alive_.size() &&
+                      alive_[slots_[id].alive_pos] == id,
+                  "Graph: alive-index bookkeeping corrupted");
   if (observer_) observer_->on_leave(id);
+  P2PSE_CHECK_MSG(is_alive(id) && alive_[slots_[id].alive_pos] == id,
+                  "Graph: observer mutated membership re-entrantly during "
+                  "on_leave");
   Slot& slot = slots_[id];
   // Detach from every neighbor; survivors keep their remaining links only.
   for (const NodeId nb : slot.adjacency) {

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "p2pse/support/check.hpp"
+
 namespace p2pse::net {
 
 void SessionMembership::adopt_initial(SessionId count) {
@@ -42,6 +44,13 @@ NodeId SessionMembership::leave(SessionId session) {
                            std::to_string(session));
   }
   const NodeId id = it->second;
+  // Desync contract: the session's node must still be alive — if something
+  // removed it behind SessionMembership's back (direct Graph::remove_node,
+  // a second churn driver on the same overlay), every later leave would
+  // silently no-op and the replayed size trajectory would drift.
+  P2PSE_CHECK_MSG(graph_->is_alive(id),
+                  "SessionMembership: session " + std::to_string(session) +
+                      "'s node was removed behind the membership's back");
   nodes_.erase(it);
   graph_->remove_node(id);
   return id;

@@ -1,6 +1,8 @@
 #include "p2pse/sim/channel.hpp"
 
 #include <stdexcept>
+
+#include "p2pse/support/check.hpp"
 #include <utility>
 #include <vector>
 
@@ -247,9 +249,29 @@ double Channel::draw_link_latency(const topo::Topology::LinkParams& link) {
   return out;
 }
 
+#if P2PSE_CHECK_ENABLED
+namespace {
+
+/// Per-link contract: a message must name two real endpoints — an invalid
+/// endpoint would be priced with a garbage link and silently skew every
+/// topology sweep. Self-sends are legal (a poll may draw its own initiator;
+/// the link then prices both access terms over zero distance).
+void check_endpoints(net::NodeId from, net::NodeId to) {
+  P2PSE_CHECK_MSG(from != net::kInvalidNode && to != net::kInvalidNode,
+                  "Channel: per-link send with an invalid endpoint");
+}
+
+}  // namespace
+#else
+namespace {
+inline void check_endpoints(net::NodeId, net::NodeId) {}
+}  // namespace
+#endif
+
 Channel::Delivery Channel::send(MessageMeter& meter, MessageClass cls,
                                 net::NodeId from, net::NodeId to) {
   if (topo_ == nullptr) return send(meter, cls);
+  check_endpoints(from, to);
   meter.count(cls);
   const topo::Topology::LinkParams link = topo_->link(from, to);
   const double loss = compose_loss(config_.loss, link.loss);
@@ -265,6 +287,7 @@ Channel::Delivery Channel::send(MessageMeter& meter, MessageClass cls,
 Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls,
                                     net::NodeId from, net::NodeId to) {
   if (topo_ == nullptr) return send_arq(meter, cls);
+  check_endpoints(from, to);
   const topo::Topology::LinkParams link = topo_->link(from, to);
   const double loss = compose_loss(config_.loss, link.loss);
   Delivery out;
@@ -285,6 +308,7 @@ Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls,
 Channel::Delivery Channel::send_reliable(MessageMeter& meter, MessageClass cls,
                                          net::NodeId from, net::NodeId to) {
   if (topo_ == nullptr) return send_reliable(meter, cls);
+  check_endpoints(from, to);
   const topo::Topology::LinkParams link = topo_->link(from, to);
   const double loss = compose_loss(config_.loss, link.loss);
   Delivery out;

@@ -1,10 +1,18 @@
 #include "p2pse/sim/event_queue.hpp"
 
+#include <cmath>
 #include <utility>
 
 namespace p2pse::sim {
 
 void EventQueue::schedule(Time when, Callback callback) {
+  P2PSE_CHECK_MSG(!std::isnan(when),
+                  "EventQueue: event scheduled at NaN time");
+#if P2PSE_CHECK_ENABLED
+  P2PSE_CHECK_MSG(when >= last_fired_,
+                  "EventQueue: event scheduled into the simulated past — "
+                  "delays must be non-negative");
+#endif
   heap_.push(Entry{when, next_seq_++, std::move(callback)});
 }
 
@@ -14,6 +22,11 @@ Time EventQueue::run_next() {
   // popping so it can run after the entry leaves the heap.
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
+#if P2PSE_CHECK_ENABLED
+  P2PSE_CHECK_MSG(entry.when >= last_fired_,
+                  "EventQueue: simulated time ran backwards");
+  last_fired_ = entry.when;
+#endif
   entry.callback();
   return entry.when;
 }
@@ -30,6 +43,9 @@ std::size_t EventQueue::run_until(Time until) {
 void EventQueue::clear() {
   while (!heap_.empty()) heap_.pop();
   next_seq_ = 0;
+#if P2PSE_CHECK_ENABLED
+  last_fired_ = -std::numeric_limits<Time>::infinity();
+#endif
 }
 
 }  // namespace p2pse::sim

@@ -4,9 +4,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 #include <vector>
+
+#include "p2pse/support/check.hpp"
 
 namespace p2pse::sim {
 
@@ -53,6 +56,11 @@ class EventQueue {
   };
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+#if P2PSE_CHECK_ENABLED
+  /// Simulated-time monotonicity contract: no event may be scheduled
+  /// before, or fire before, the most recently fired event's time.
+  Time last_fired_ = -std::numeric_limits<Time>::infinity();
+#endif
 };
 
 }  // namespace p2pse::sim

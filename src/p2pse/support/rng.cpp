@@ -10,10 +10,12 @@ using uint128 = unsigned __int128;
 
 namespace p2pse::support {
 
-std::uint64_t RngStream::uniform_u64(std::uint64_t bound) noexcept {
+std::uint64_t RngStream::uniform_u64(std::uint64_t bound)
+    P2PSE_CHECKED_NOEXCEPT {
   // bound == 0 would be a caller bug; return 0 deterministically rather than
   // dividing by zero. Callers assert on their side.
   if (bound == 0) return 0;
+  account();
 #ifdef __SIZEOF_INT128__
   // Lemire's nearly-divisionless unbiased bounded generation.
   std::uint64_t x = engine_();
@@ -39,18 +41,19 @@ std::uint64_t RngStream::uniform_u64(std::uint64_t bound) noexcept {
 #endif
 }
 
-std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi)
+    P2PSE_CHECKED_NOEXCEPT {
   if (lo >= hi) return lo;
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(uniform_u64(span));
 }
 
-double RngStream::exponential(double rate) noexcept {
+double RngStream::exponential(double rate) P2PSE_CHECKED_NOEXCEPT {
   if (rate <= 0.0) return std::numeric_limits<double>::infinity();
   return -std::log(uniform_real_open0()) / rate;
 }
 
-double RngStream::normal(double mean, double stddev) noexcept {
+double RngStream::normal(double mean, double stddev) P2PSE_CHECKED_NOEXCEPT {
   // Box-Muller, cosine branch only: one variate per call from a fixed two
   // uniforms, no cached second variate (cached state would break split()'s
   // copy semantics and clone-based replication).
@@ -59,7 +62,7 @@ double RngStream::normal(double mean, double stddev) noexcept {
   return mean + stddev * r * std::cos(kTwoPi * uniform_real());
 }
 
-double RngStream::pareto(double xm, double alpha) noexcept {
+double RngStream::pareto(double xm, double alpha) P2PSE_CHECKED_NOEXCEPT {
   if (xm <= 0.0 || alpha <= 0.0) {
     return std::numeric_limits<double>::quiet_NaN();
   }

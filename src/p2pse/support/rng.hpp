@@ -16,6 +16,12 @@
 #include <string_view>
 #include <vector>
 
+#include "p2pse/support/check.hpp"
+
+#if P2PSE_CHECK_ENABLED
+#include <thread>
+#endif
+
 namespace p2pse::support {
 
 /// SplitMix64 step: used for seeding and for hashing tags into seeds.
@@ -84,6 +90,22 @@ class RngStream {
   explicit RngStream(std::uint64_t seed = 0xdeadbeefULL) noexcept
       : seed_(seed), engine_(seed) {}
 
+#if P2PSE_CHECK_ENABLED
+  // Checked builds bind each stream to the first thread that draws from it
+  // (cross-thread sharing silently corrupts replica independence). A copy
+  // is a NEW stream value: it re-binds on its own first draw and restarts
+  // its draw count.
+  RngStream(const RngStream& other) noexcept
+      : seed_(other.seed_), engine_(other.engine_) {}
+  RngStream& operator=(const RngStream& other) noexcept {
+    seed_ = other.seed_;
+    engine_ = other.engine_;
+    owner_ = {};
+    draws_ = 0;
+    return *this;
+  }
+#endif
+
   /// Root seed this stream was created with.
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
@@ -95,50 +117,59 @@ class RngStream {
   }
 
   /// Raw 64 random bits.
-  [[nodiscard]] std::uint64_t next_u64() noexcept { return engine_(); }
+  [[nodiscard]] std::uint64_t next_u64() P2PSE_CHECKED_NOEXCEPT {
+    account();
+    return engine_();
+  }
 
   /// Uniform integer in [0, bound). `bound` must be > 0.
   /// Uses Lemire's multiply-shift rejection method (unbiased).
-  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t bound) noexcept;
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t bound)
+      P2PSE_CHECKED_NOEXCEPT;
 
   /// Uniform integer in [lo, hi] inclusive.
-  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi)
+      P2PSE_CHECKED_NOEXCEPT;
 
   /// Uniform real in [0, 1).
-  [[nodiscard]] double uniform_real() noexcept {
+  [[nodiscard]] double uniform_real() P2PSE_CHECKED_NOEXCEPT {
+    account();
     return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
   }
 
   /// Uniform real in (0, 1] — safe as a log() argument.
-  [[nodiscard]] double uniform_real_open0() noexcept {
+  [[nodiscard]] double uniform_real_open0() P2PSE_CHECKED_NOEXCEPT {
     return 1.0 - uniform_real();
   }
 
   /// Uniform real in [lo, hi).
-  [[nodiscard]] double uniform_real(double lo, double hi) noexcept {
+  [[nodiscard]] double uniform_real(double lo, double hi)
+      P2PSE_CHECKED_NOEXCEPT {
     return lo + (hi - lo) * uniform_real();
   }
 
   /// Bernoulli trial with success probability p (clamped to [0,1]).
-  [[nodiscard]] bool bernoulli(double p) noexcept {
+  /// p <= 0 and p >= 1 short-circuit without consuming a draw.
+  [[nodiscard]] bool bernoulli(double p) P2PSE_CHECKED_NOEXCEPT {
     if (p <= 0.0) return false;
     if (p >= 1.0) return true;
     return uniform_real() < p;
   }
 
   /// Exponentially distributed variate with the given rate (mean 1/rate).
-  [[nodiscard]] double exponential(double rate = 1.0) noexcept;
+  [[nodiscard]] double exponential(double rate = 1.0) P2PSE_CHECKED_NOEXCEPT;
 
   /// Normally distributed variate (Box-Muller; consumes exactly two uniforms
   /// per call, so streams stay aligned regardless of the values drawn).
-  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0)
+      P2PSE_CHECKED_NOEXCEPT;
 
   /// Pareto variate with scale xm > 0 and shape alpha > 0 (inverse CDF).
-  [[nodiscard]] double pareto(double xm, double alpha) noexcept;
+  [[nodiscard]] double pareto(double xm, double alpha) P2PSE_CHECKED_NOEXCEPT;
 
   /// Fisher–Yates shuffle of a span.
   template <typename T>
-  void shuffle(std::span<T> values) noexcept {
+  void shuffle(std::span<T> values) P2PSE_CHECKED_NOEXCEPT {
     for (std::size_t i = values.size(); i > 1; --i) {
       const std::size_t j = static_cast<std::size_t>(uniform_u64(i));
       using std::swap;
@@ -148,9 +179,19 @@ class RngStream {
 
   /// Picks a uniformly random element of a non-empty span.
   template <typename T>
-  [[nodiscard]] const T& pick(std::span<const T> values) noexcept {
+  [[nodiscard]] const T& pick(std::span<const T> values)
+      P2PSE_CHECKED_NOEXCEPT {
     return values[static_cast<std::size_t>(uniform_u64(values.size()))];
   }
+
+#if P2PSE_CHECK_ENABLED
+  /// Draws consumed since construction/assignment (checked builds only) —
+  /// the per-split accounting the contract tests pin: a substream consumes
+  /// draws only when ITS code path runs (e.g. an ideal channel draws 0).
+  [[nodiscard]] std::uint64_t debug_draw_count() const noexcept {
+    return draws_;
+  }
+#endif
 
   /// Samples `k` distinct indices from [0, n). Requires k <= n.
   /// Order of the returned indices is unspecified.
@@ -158,8 +199,29 @@ class RngStream {
                                                                     std::size_t k);
 
  private:
+  /// Contract hook on every draw: binds the stream to the first drawing
+  /// thread and counts draws. Compiled to nothing in unchecked builds.
+  void account() P2PSE_CHECKED_NOEXCEPT {
+#if P2PSE_CHECK_ENABLED
+    const std::thread::id self = std::this_thread::get_id();
+    if (owner_ == std::thread::id{}) {
+      owner_ = self;
+    } else {
+      P2PSE_CHECK_MSG(owner_ == self,
+                      "RngStream drawn from a second thread — replica "
+                      "streams must not be shared; derive a per-thread "
+                      "substream with split()");
+    }
+    ++draws_;
+#endif
+  }
+
   std::uint64_t seed_;
   Xoshiro256 engine_;
+#if P2PSE_CHECK_ENABLED
+  std::thread::id owner_{};
+  std::uint64_t draws_ = 0;
+#endif
 };
 
 }  // namespace p2pse::support

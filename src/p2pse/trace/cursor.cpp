@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "p2pse/support/check.hpp"
+
 namespace p2pse::trace {
 
 TraceCursor::TraceCursor(const ChurnTrace& trace, net::Graph& graph,
@@ -11,10 +13,24 @@ TraceCursor::TraceCursor(const ChurnTrace& trace, net::Graph& graph,
 }
 
 void TraceCursor::advance_to(double t) {
+  // A backwards drive is a documented no-op (not a rewind): every event at
+  // or before `t` was already consumed, and now_ never decreases below.
   t = std::min(t, trace_->duration);
   const auto& events = trace_->events;
+#if P2PSE_CHECK_ENABLED
+  // Replay-order contract: events must apply in non-decreasing time order.
+  // A trace that passed validate() cannot violate this; firing here means
+  // the cursor was handed an unvalidated (hand-built, unsorted) trace whose
+  // replay would silently desynchronize the size trajectory.
+  double last_applied = now_;
+#endif
   while (next_event_ < events.size() && events[next_event_].time <= t) {
     const TraceEvent& event = events[next_event_];
+#if P2PSE_CHECK_ENABLED
+    P2PSE_CHECK_MSG(event.time >= last_applied,
+                    "TraceCursor: trace event out of replay order");
+    last_applied = event.time;
+#endif
     if (event.kind == TraceEvent::Kind::kJoin) {
       (void)members_.join(event.session, rng_);
     } else {

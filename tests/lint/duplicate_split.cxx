@@ -1,0 +1,31 @@
+// Fixture: duplicate index-less .split("tag") calls inside one function
+// scope derive the SAME substream — the silent-correlation bug class. The
+// same tag in two different functions, or split calls carrying an index
+// argument, are fine.
+#include <cstdint>
+
+#include "p2pse/support/rng.hpp"
+
+namespace fixture {
+
+using p2pse::support::RngStream;
+
+double correlated_replicas(const RngStream& root) {
+  RngStream graph = root.split("graph");
+  RngStream estimator = root.split("estimator");
+  RngStream oops = root.split("graph");  // expect-lint: dup-split
+  return graph.uniform_real() + estimator.uniform_real() + oops.uniform_real();
+}
+
+double independent_scopes(const RngStream& root) {
+  // Same tag as above, but a fresh function scope: no finding.
+  RngStream graph = root.split("graph");
+  double sum = 0.0;
+  for (std::uint64_t rep = 0; rep < 4; ++rep) {
+    // Indexed splits are the sanctioned way to fan one tag out:
+    sum += root.split("replica", rep).uniform_real();
+  }
+  return sum + graph.uniform_real();
+}
+
+}  // namespace fixture

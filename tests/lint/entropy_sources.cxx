@@ -1,0 +1,32 @@
+// Fixture: every banned entropy/wall-clock source must be flagged.
+// Never compiled — consumed by `determinism_lint.py --selftest`.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned bad_seed_sources() {
+  std::random_device entropy;                          // expect-lint: entropy
+  std::srand(42);                                      // expect-lint: entropy
+  unsigned mix = entropy() + static_cast<unsigned>(rand());  // expect-lint: entropy
+  mix += static_cast<unsigned>(time(nullptr));         // expect-lint: entropy
+  mix += static_cast<unsigned>(clock());               // expect-lint: entropy
+  const auto wall = std::chrono::system_clock::now();  // expect-lint: entropy
+  mix += static_cast<unsigned>(wall.time_since_epoch().count());
+  return mix;
+}
+
+// Member calls and names that merely CONTAIN the banned tokens are fine.
+struct Timer {
+  double time() const { return 0.0; }
+  double next_time() const { return time(); }
+  double randomize() const { return 0.0; }  // 'rand' substring: not a call
+};
+
+double good_simulated_time(const Timer& t) {
+  return t.time() + t.next_time() + t.randomize();
+}
+
+}  // namespace fixture

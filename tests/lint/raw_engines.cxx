@@ -1,0 +1,23 @@
+// Fixture: raw stdlib engines/distributions outside support/rng are flagged;
+// mentions inside comments or string literals are not.
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace fixture {
+
+double bad_engines(std::vector<int>& values) {
+  std::mt19937 gen(42);                       // expect-lint: raw-engine
+  std::mt19937_64 gen64(42);                  // expect-lint: raw-engine
+  std::default_random_engine basic(7);        // expect-lint: raw-engine
+  std::uniform_int_distribution<int> die(1, 6);   // expect-lint: raw-engine
+  std::normal_distribution<double> bell(0, 1);    // expect-lint: raw-engine
+  std::shuffle(values.begin(), values.end(), gen);  // expect-lint: raw-engine
+  return die(gen) + bell(gen64) + static_cast<double>(basic());
+}
+
+// Prose mentioning std::mt19937 in a comment is not a finding, and neither
+// is the token inside a diagnostic string:
+const char* kHelp = "do not use std::mt19937 here";
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: the suppression grammar. A reasoned allow() shields exactly its
+// rule on exactly its line (or the next code line for comment-only
+// suppressions); unknown rules, missing reasons, and suppressions that no
+// longer match a finding are themselves findings.
+#include <chrono>
+
+namespace fixture {
+
+double sanctioned_wall_clock() {
+  // Display-only timing, sanctioned with a reason — no finding here:
+  const auto t0 = std::chrono::system_clock::now();  // p2pse-lint: allow(entropy) wall-clock is display-only, never seeds a stream
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+double comment_line_suppression() {
+  // p2pse-lint: allow(entropy) banner timestamp only, results carry no time
+  const auto t0 = std::chrono::system_clock::now();
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+// expect-lint(+1): bad-suppression
+// p2pse-lint: allow(no-such-rule) rule name is not in the table
+
+// expect-lint(+1): bad-suppression
+// p2pse-lint: allow(entropy)
+
+int stale() {
+  // expect-lint(+1): stale-suppression
+  return 2;  // p2pse-lint: allow(entropy) nothing on this line draws entropy
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: the unordered-iter rule only applies to report-writing files.
+// This file writes nothing (no stream includes, no csv/report headers), so
+// iterating an unordered set for an internal aggregate is acceptable.
+#include <cstdint>
+#include <unordered_set>
+
+namespace fixture {
+
+std::uint64_t internal_sum(const std::unordered_set<std::uint64_t>& seen) {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t id : seen) sum += id;  // order-insensitive fold
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// Fixture: range-for over unordered containers in a report-writing file
+// (this one: it includes <ostream> and writes CSV-ish rows). Bucket order
+// is implementation-defined, so emitted rows would not be byte-stable.
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Report {
+  std::unordered_map<std::uint64_t, double> estimates;
+  std::unordered_set<std::uint64_t> flagged_;
+  std::map<std::uint64_t, double> ordered;
+  std::vector<double> rows;
+};
+
+void write_report(std::ostream& out, const Report& report) {
+  for (const auto& [node, value] : report.estimates) {  // expect-lint: unordered-iter
+    out << node << ',' << value << '\n';
+  }
+  for (const std::uint64_t node : report.flagged_) {  // expect-lint: unordered-iter
+    out << node << '\n';
+  }
+  // Ordered containers and vectors keep deterministic iteration order:
+  for (const auto& [node, value] : report.ordered) out << node << value;
+  for (const double row : report.rows) out << row;
+}
+
+void write_members(std::ostream& out) {
+  std::unordered_map<std::uint64_t, double> estimates;
+  std::unordered_set<std::uint64_t> flagged_;
+  for (const auto& entry : estimates) out << entry.first;  // expect-lint: unordered-iter
+  for (const auto id : flagged_) out << id;                // expect-lint: unordered-iter
+  // Lookup/erase on unordered containers is fine — only iteration order
+  // can leak into the report:
+  estimates.erase(0);
+}
+
+}  // namespace fixture

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""clang-format driver: `--check` verifies (dry-run, -Werror), default fixes
+in place. Style comes from the repo's .clang-format."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+
+EXTENSIONS = (".cpp", ".hpp", ".cc", ".h")
+
+
+def collect_sources(paths: list[str]) -> list[str]:
+    out: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for dirpath, _dirnames, filenames in os.walk(path):
+            for name in sorted(filenames):
+                if name.endswith(EXTENSIONS):
+                    out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="run_clang_format")
+    parser.add_argument("paths", nargs="+")
+    parser.add_argument("--clang-format", default="clang-format")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on style drift instead of rewriting")
+    args = parser.parse_args(argv)
+
+    sources = collect_sources(args.paths)
+    mode = ["--dry-run", "-Werror"] if args.check else ["-i"]
+    proc = subprocess.run(
+        [args.clang_format, "--style=file", *mode, *sources], check=False)
+    if proc.returncode != 0:
+        print(f"clang-format: style drift in the {len(sources)} checked "
+              "file(s) — run tools/lint/run_clang_format.py to fix",
+              file=sys.stderr)
+        return 1
+    verb = "checked" if args.check else "formatted"
+    print(f"clang-format: {len(sources)} file(s) {verb}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

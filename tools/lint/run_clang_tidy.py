@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Thin clang-tidy driver for the `lint` CMake target and the CI tidy job.
+
+Runs clang-tidy (configuration comes from the repo's .clang-tidy) over every
+translation unit under the given paths, using the compilation database the
+build exported. Exits non-zero if any file produces a diagnostic, and can
+append a markdown summary for $GITHUB_STEP_SUMMARY.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import re
+import subprocess
+import sys
+
+DIAG_PATTERN = re.compile(r"(warning|error):")
+
+
+def collect_units(paths: list[str]) -> list[str]:
+    out: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+            continue
+        for dirpath, _dirnames, filenames in os.walk(path):
+            for name in sorted(filenames):
+                if name.endswith((".cpp", ".cc")):
+                    out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def tidy_one(clang_tidy: str, build_dir: str, unit: str) -> tuple[str, str]:
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", unit],
+        capture_output=True, text=True, check=False)
+    output = proc.stdout.strip()
+    if proc.returncode != 0 and not output:
+        output = proc.stderr.strip()
+    return unit, output
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="run_clang_tidy")
+    parser.add_argument("paths", nargs="+")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--build-dir", required=True,
+                        help="directory containing compile_commands.json")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--github-summary", metavar="FILE",
+                        help="append a markdown summary to FILE")
+    args = parser.parse_args(argv)
+
+    database = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.exists(database):
+        print(f"run_clang_tidy: no {database} — configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON first", file=sys.stderr)
+        return 2
+
+    units = collect_units(args.paths)
+    dirty: list[tuple[str, str]] = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for unit, output in pool.map(
+                lambda u: tidy_one(args.clang_tidy, args.build_dir, u),
+                units):
+            if output and DIAG_PATTERN.search(output):
+                dirty.append((unit, output))
+                print(output)
+
+    if args.github_summary:
+        with open(args.github_summary, "a", encoding="utf-8") as out:
+            out.write("## clang-tidy\n\n")
+            if dirty:
+                for unit, output in dirty:
+                    out.write(f"<details><summary><code>{unit}</code>"
+                              "</summary>\n\n```\n")
+                    out.write(output)
+                    out.write("\n```\n</details>\n")
+            else:
+                out.write(f"Clean: {len(units)} translation unit(s), "
+                          "0 diagnostics.\n")
+
+    if dirty:
+        print(f"clang-tidy: {len(dirty)} of {len(units)} translation "
+              "unit(s) with diagnostics", file=sys.stderr)
+        return 1
+    print(f"clang-tidy: {len(units)} translation unit(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
