@@ -255,6 +255,78 @@ void BM_AggregationRoundLossy(benchmark::State& state) {
 }
 BENCHMARK(BM_AggregationRoundLossy)->Arg(10000);
 
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  // One schedule + one fire per iteration against a standing population of
+  // pending events — the steady state of a busy simulator. Exercises the
+  // 4-ary heap sift paths and the Event inline-storage fast path (the
+  // capture below must never allocate).
+  sim::EventQueue q;
+  support::RngStream rng(42);
+  std::uint64_t sink = 0;
+  for (int i = 0; i < 1024; ++i) {
+    q.schedule(rng.uniform_real(0.0, 100.0), [&sink] { ++sink; });
+  }
+  for (auto _ : state) {
+    const sim::Time fired = q.run_next();
+    q.schedule(fired + rng.uniform_real(0.0, 100.0), [&sink] { ++sink; });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_GraphAddRemoveEdge(benchmark::State& state) {
+  // Random edge toggle on a paper-sized overlay: dedup scan + append +
+  // swap-with-back removal, all in the shared arena (no allocation at
+  // steady state — every chunk is recycled).
+  support::RngStream build_rng(42);
+  net::Graph g = net::build_heterogeneous_random({10000, 1, 10}, build_rng);
+  support::RngStream rng(44);
+  for (auto _ : state) {
+    const net::NodeId a = g.random_alive(rng);
+    const net::NodeId b = g.random_alive(rng);
+    if (a != b && g.add_edge(a, b)) {
+      benchmark::DoNotOptimize(g.remove_edge(a, b));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GraphAddRemoveEdge);
+
+void BM_GraphNeighborScan(benchmark::State& state) {
+  // Full adjacency sweep of a 1M-node overlay: the SoA arena turns this
+  // into a near-linear stream (per-node vectors made it a pointer chase).
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  support::RngStream build_rng(42);
+  const net::Graph g =
+      net::build_heterogeneous_random({nodes, 1, 10}, build_rng);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (const net::NodeId u : g.alive_nodes()) {
+      for (const net::NodeId v : g.neighbors(u)) sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * g.edge_count()));
+}
+BENCHMARK(BM_GraphNeighborScan)->Arg(1000000);
+
+void BM_RngBatchedUniform(benchmark::State& state) {
+  // Batched uniform fill (4096 doubles per call) — same stream consumption
+  // as 4096 scalar uniform_real() calls, amortizing the per-draw accounting
+  // and call overhead.
+  support::RngStream rng(42);
+  std::vector<double> buf(4096);
+  for (auto _ : state) {
+    rng.fill_uniform(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_RngBatchedUniform);
+
 void BM_ChurnStep(benchmark::State& state) {
   support::RngStream build_rng(42);
   net::Graph g = net::build_heterogeneous_random({50000, 1, 10}, build_rng);

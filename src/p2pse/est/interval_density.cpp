@@ -10,8 +10,13 @@ namespace p2pse::est {
 IdentifierSpace::IdentifierSpace(const net::Graph& graph,
                                  support::RngStream& rng) {
   ring_.reserve(graph.size());
-  for (const net::NodeId node : graph.alive_nodes()) {
-    ring_.push_back(Slot{rng.uniform_real(), node});
+  // One batched fill instead of a per-node draw; same stream order (one
+  // uniform per alive node, in alive-list order).
+  const std::span<const net::NodeId> alive = graph.alive_nodes();
+  std::vector<double> ids(alive.size());
+  rng.fill_uniform(ids);
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    ring_.push_back(Slot{ids[i], alive[i]});
   }
   std::sort(ring_.begin(), ring_.end(),
             [](const Slot& a, const Slot& b) { return a.id < b.id; });

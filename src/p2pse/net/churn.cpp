@@ -18,6 +18,18 @@ NodeId join_node(Graph& graph, const JoinPolicy& policy,
   while (graph.degree(id) < target && attempts < attempt_budget) {
     ++attempts;
     const NodeId peer = graph.random_alive(rng);
+    {
+      // Speculative lookahead: a COPY of the stream yields exactly the
+      // values the next attempts will draw (the real stream is untouched,
+      // so draw order — and figure bytes — are unchanged). Prefetching the
+      // next three candidates' lines overlaps their degree-probe misses
+      // with this attempt's work instead of serializing them; depth 3
+      // measured best on BM_ChurnStep (see README "Performance").
+      support::RngStream peek = rng;
+      graph.prefetch_node(graph.random_alive(peek));
+      graph.prefetch_node(graph.random_alive(peek));
+      graph.prefetch_node(graph.random_alive(peek));
+    }
     if (peer == id || peer == kInvalidNode) continue;
     if (graph.degree(peer) >= policy.max_degree) continue;
     graph.add_edge(id, peer);

@@ -56,6 +56,13 @@ Graph load_graph(std::istream& in) {
       if (a >= graph.slot_count() || b >= graph.slot_count()) {
         malformed("edge id out of range");
       }
+      // Untrusted input: validate liveness explicitly instead of leaning on
+      // add_edge's tolerant return — in checked builds a dead endpoint
+      // passed to add_edge is a contract violation, and a malformed file
+      // must stay a runtime_error, not a CheckFailure.
+      if (!graph.is_alive(a) || !graph.is_alive(b)) {
+        malformed("edge references a dead node");
+      }
       if (!graph.add_edge(a, b)) malformed("unaddable edge");
     } else {
       malformed("unknown keyword '" + keyword + "'");

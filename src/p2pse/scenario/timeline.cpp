@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "p2pse/support/check.hpp"
+
 namespace p2pse::scenario {
 
 ScenarioCursor::ScenarioCursor(const ScenarioScript& script, net::Graph& graph,
@@ -40,6 +42,14 @@ void ScenarioCursor::apply(const TimelineEvent& event) {
 }
 
 void ScenarioCursor::advance_to(double t) {
+  // Time-monotonicity contract: scenario time only moves forward (round
+  // drivers advance strictly; re-advancing to the current time is a no-op).
+  // A backwards drive is a caller bug — it would silently skip the churn
+  // the caller thinks it replayed — so checked builds reject it; unchecked
+  // builds keep the tolerant no-op (the loop below never runs). Checked on
+  // the RAW t: past the script's end, advance_to(duration + x) stays legal.
+  P2PSE_CHECK_MSG(t >= now_,
+                  "ScenarioCursor: advance_to drove scenario time backwards");
   t = std::min(t, script_->duration);
   while (now_ < t) {
     double segment_end = t;

@@ -1,39 +1,63 @@
 #include "p2pse/sim/event_queue.hpp"
 
-#include <cmath>
-#include <utility>
+#include <algorithm>
 
 namespace p2pse::sim {
 
-void EventQueue::schedule(Time when, Callback callback) {
-  P2PSE_CHECK_MSG(!std::isnan(when),
-                  "EventQueue: event scheduled at NaN time");
-#if P2PSE_CHECK_ENABLED
-  P2PSE_CHECK_MSG(when >= last_fired_,
-                  "EventQueue: event scheduled into the simulated past — "
-                  "delays must be non-negative");
-#endif
-  heap_.push(Entry{when, next_seq_++, std::move(callback)});
+void EventQueue::sift_up(std::size_t i) noexcept {
+  const HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::pop_root() noexcept {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+  // Sift `last` down from the root, pulling the earliest child up each level.
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = kArity * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t end = std::min(first_child + kArity, n);
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
 }
 
 Time EventQueue::run_next() {
   if (heap_.empty()) throw std::logic_error("EventQueue::run_next: empty");
-  // priority_queue::top() is const; the callback must be moved out before
-  // popping so it can run after the entry leaves the heap.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  const HeapEntry top = heap_.front();
+  pop_root();
 #if P2PSE_CHECK_ENABLED
-  P2PSE_CHECK_MSG(entry.when >= last_fired_,
+  P2PSE_CHECK_MSG(top.when >= last_fired_,
                   "EventQueue: simulated time ran backwards");
-  last_fired_ = entry.when;
+  last_fired_ = top.when;
 #endif
-  entry.callback();
-  return entry.when;
+  // Move the callback out and recycle its slot BEFORE invoking: the callback
+  // may schedule more events (growing slots_) or clear() the queue, so no
+  // reference into the containers can be held across the call.
+  Event event = std::move(slots_[top.slot]);
+  free_slots_.push_back(top.slot);
+  event();
+  return top.when;
 }
 
 std::size_t EventQueue::run_until(Time until) {
   std::size_t count = 0;
-  while (!heap_.empty() && heap_.top().when <= until) {
+  while (!heap_.empty() && heap_.front().when <= until) {
     run_next();
     ++count;
   }
@@ -41,7 +65,11 @@ std::size_t EventQueue::run_until(Time until) {
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  // Destroying the events releases their pool blocks; the pool keeps its
+  // slabs so post-clear spills allocate nothing new.
+  heap_.clear();
+  slots_.clear();
+  free_slots_.clear();
   next_seq_ = 0;
 #if P2PSE_CHECK_ENABLED
   last_fired_ = -std::numeric_limits<Time>::infinity();

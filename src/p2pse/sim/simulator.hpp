@@ -124,9 +124,17 @@ class Simulator {
 
   [[nodiscard]] Time now() const noexcept { return now_; }
 
-  /// Schedules `callback` `delay` time units from now.
-  void schedule_in(Time delay, EventQueue::Callback callback) {
-    events_.schedule(now_ + delay, std::move(callback));
+  /// Schedules `callback` `delay` time units from now. This is the hot-path
+  /// entry point, so the capture must fit Event's inline buffer — scheduling
+  /// here never allocates. A genuinely oversized (cold) callback can go
+  /// through events().schedule directly, which spills it to the event pool.
+  template <typename F>
+  void schedule_in(Time delay, F&& callback) {
+    static_assert(Event::fits_inline<std::decay_t<F>>(),
+                  "schedule_in is allocation-free: this capture exceeds "
+                  "Event's inline buffer — shrink it (capture pointers, not "
+                  "values) or use events().schedule for cold paths");
+    events_.schedule(now_ + delay, std::forward<F>(callback));
   }
 
   /// Runs events until the queue is empty or the clock passes `until`.

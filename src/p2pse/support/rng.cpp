@@ -1,73 +1,13 @@
 #include "p2pse/support/rng.hpp"
 
-#include <cmath>
 #include <stdexcept>
 #include <unordered_set>
 
-#ifdef __SIZEOF_INT128__
-using uint128 = unsigned __int128;
-#endif
+// The hot draw paths (uniform_u64, uniform_real, exponential, normal, the
+// batched fills) live in the header so they inline into callers; only the
+// allocation-heavy cold path stays out of line.
 
 namespace p2pse::support {
-
-std::uint64_t RngStream::uniform_u64(std::uint64_t bound)
-    P2PSE_CHECKED_NOEXCEPT {
-  // bound == 0 would be a caller bug; return 0 deterministically rather than
-  // dividing by zero. Callers assert on their side.
-  if (bound == 0) return 0;
-  account();
-#ifdef __SIZEOF_INT128__
-  // Lemire's nearly-divisionless unbiased bounded generation.
-  std::uint64_t x = engine_();
-  uint128 m = static_cast<uint128>(x) * static_cast<uint128>(bound);
-  auto low = static_cast<std::uint64_t>(m);
-  if (low < bound) {
-    const std::uint64_t threshold = (0 - bound) % bound;
-    while (low < threshold) {
-      x = engine_();
-      m = static_cast<uint128>(x) * static_cast<uint128>(bound);
-      low = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-#else
-  // Portable rejection sampling fallback.
-  const std::uint64_t limit = max() - max() % bound;
-  std::uint64_t x;
-  do {
-    x = engine_();
-  } while (x >= limit);
-  return x % bound;
-#endif
-}
-
-std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi)
-    P2PSE_CHECKED_NOEXCEPT {
-  if (lo >= hi) return lo;
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<std::int64_t>(uniform_u64(span));
-}
-
-double RngStream::exponential(double rate) P2PSE_CHECKED_NOEXCEPT {
-  if (rate <= 0.0) return std::numeric_limits<double>::infinity();
-  return -std::log(uniform_real_open0()) / rate;
-}
-
-double RngStream::normal(double mean, double stddev) P2PSE_CHECKED_NOEXCEPT {
-  // Box-Muller, cosine branch only: one variate per call from a fixed two
-  // uniforms, no cached second variate (cached state would break split()'s
-  // copy semantics and clone-based replication).
-  constexpr double kTwoPi = 6.283185307179586476925286766559;
-  const double r = std::sqrt(-2.0 * std::log(uniform_real_open0()));
-  return mean + stddev * r * std::cos(kTwoPi * uniform_real());
-}
-
-double RngStream::pareto(double xm, double alpha) P2PSE_CHECKED_NOEXCEPT {
-  if (xm <= 0.0 || alpha <= 0.0) {
-    return std::numeric_limits<double>::quiet_NaN();
-  }
-  return xm * std::pow(uniform_real_open0(), -1.0 / alpha);
-}
 
 std::vector<std::size_t> RngStream::sample_without_replacement(std::size_t n,
                                                                std::size_t k) {

@@ -10,6 +10,7 @@
 // public-domain algorithms reimplemented here so the library has no
 // dependency beyond the standard library.
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -124,12 +125,25 @@ class RngStream {
 
   /// Uniform integer in [0, bound). `bound` must be > 0.
   /// Uses Lemire's multiply-shift rejection method (unbiased).
+  /// Defined inline: this is the single hottest draw in the simulator
+  /// (neighbor selection, churn victim selection, builder candidates), and
+  /// keeping it in the header lets the engine step fuse into the caller.
   [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t bound)
-      P2PSE_CHECKED_NOEXCEPT;
+      P2PSE_CHECKED_NOEXCEPT {
+    // bound == 0 would be a caller bug; return 0 deterministically rather
+    // than dividing by zero. Callers assert on their side.
+    if (bound == 0) return 0;
+    account();
+    return bounded_step(bound);
+  }
 
   /// Uniform integer in [lo, hi] inclusive.
   [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi)
-      P2PSE_CHECKED_NOEXCEPT;
+      P2PSE_CHECKED_NOEXCEPT {
+    if (lo >= hi) return lo;
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_u64(span));
+  }
 
   /// Uniform real in [0, 1).
   [[nodiscard]] double uniform_real() P2PSE_CHECKED_NOEXCEPT {
@@ -157,15 +171,63 @@ class RngStream {
   }
 
   /// Exponentially distributed variate with the given rate (mean 1/rate).
-  [[nodiscard]] double exponential(double rate = 1.0) P2PSE_CHECKED_NOEXCEPT;
+  [[nodiscard]] double exponential(double rate = 1.0) P2PSE_CHECKED_NOEXCEPT {
+    if (rate <= 0.0) return std::numeric_limits<double>::infinity();
+    return -std::log(uniform_real_open0()) / rate;
+  }
 
   /// Normally distributed variate (Box-Muller; consumes exactly two uniforms
   /// per call, so streams stay aligned regardless of the values drawn).
   [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0)
-      P2PSE_CHECKED_NOEXCEPT;
+      P2PSE_CHECKED_NOEXCEPT {
+    // Box-Muller, cosine branch only: one variate per call from a fixed two
+    // uniforms, no cached second variate (cached state would break split()'s
+    // copy semantics and clone-based replication).
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    const double r = std::sqrt(-2.0 * std::log(uniform_real_open0()));
+    return mean + stddev * r * std::cos(kTwoPi * uniform_real());
+  }
 
   /// Pareto variate with scale xm > 0 and shape alpha > 0 (inverse CDF).
-  [[nodiscard]] double pareto(double xm, double alpha) P2PSE_CHECKED_NOEXCEPT;
+  [[nodiscard]] double pareto(double xm, double alpha) P2PSE_CHECKED_NOEXCEPT {
+    if (xm <= 0.0 || alpha <= 0.0) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return xm * std::pow(uniform_real_open0(), -1.0 / alpha);
+  }
+
+  /// Fills `out` with uniform reals in [0, 1), consuming the engine exactly
+  /// as `out.size()` successive uniform_real() calls would — batched callers
+  /// produce bit-identical streams to their scalar-loop predecessors.
+  void fill_uniform(std::span<double> out) P2PSE_CHECKED_NOEXCEPT {
+    account_batch(out.size());
+    for (double& v : out) {
+      v = static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+    }
+  }
+
+  /// Fills `out` with uniform reals in [lo, hi), element-for-element equal
+  /// to successive uniform_real(lo, hi) calls (same affine transform).
+  void fill_uniform(std::span<double> out, double lo, double hi)
+      P2PSE_CHECKED_NOEXCEPT {
+    account_batch(out.size());
+    for (double& v : out) {
+      v = lo + (hi - lo) * (static_cast<double>(engine_() >> 11) * 0x1.0p-53);
+    }
+  }
+
+  /// Fills `out` with uniform integers in [0, bound), equivalent to
+  /// out.size() successive uniform_u64(bound) calls (identical rejection
+  /// behavior, so the engine advances by the same number of steps).
+  void bounded_batch(std::span<std::uint64_t> out, std::uint64_t bound)
+      P2PSE_CHECKED_NOEXCEPT {
+    if (bound == 0) {
+      for (std::uint64_t& v : out) v = 0;
+      return;
+    }
+    account_batch(out.size());
+    for (std::uint64_t& v : out) v = bounded_step(bound);
+  }
 
   /// Fisher–Yates shuffle of a span.
   template <typename T>
@@ -199,6 +261,39 @@ class RngStream {
                                                                     std::size_t k);
 
  private:
+  /// One unaccounted Lemire bounded draw (bound > 0). Shared by the scalar
+  /// and batched entry points so both consume the engine identically.
+  [[nodiscard]] std::uint64_t bounded_step(std::uint64_t bound) noexcept {
+#ifdef __SIZEOF_INT128__
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    using uint128 = unsigned __int128;
+    std::uint64_t x = engine_();
+    uint128 m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = engine_();
+        m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+#else
+    // Portable rejection sampling fallback.
+    const std::uint64_t limit = max() - max() % bound;
+    std::uint64_t x;
+    do {
+      x = engine_();
+    } while (x >= limit);
+    return x % bound;
+#endif
+  }
+
+  [[nodiscard]] static constexpr std::uint64_t max() noexcept {
+    return Xoshiro256::max();
+  }
+
   /// Contract hook on every draw: binds the stream to the first drawing
   /// thread and counts draws. Compiled to nothing in unchecked builds.
   void account() P2PSE_CHECKED_NOEXCEPT {
@@ -213,6 +308,27 @@ class RngStream {
                       "substream with split()");
     }
     ++draws_;
+#endif
+  }
+
+  /// Batched equivalent of `n` account() calls: one thread-affinity check,
+  /// draw count advances by n so checked-build accounting matches the
+  /// scalar loop the batch replaces.
+  void account_batch(std::size_t n) P2PSE_CHECKED_NOEXCEPT {
+#if P2PSE_CHECK_ENABLED
+    if (n == 0) return;
+    const std::thread::id self = std::this_thread::get_id();
+    if (owner_ == std::thread::id{}) {
+      owner_ = self;
+    } else {
+      P2PSE_CHECK_MSG(owner_ == self,
+                      "RngStream drawn from a second thread — replica "
+                      "streams must not be shared; derive a per-thread "
+                      "substream with split()");
+    }
+    draws_ += n;
+#else
+    (void)n;
 #endif
   }
 

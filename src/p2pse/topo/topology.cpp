@@ -258,10 +258,12 @@ Topology::Topology(const TopologyConfig& config, support::RngStream rng)
   // kept its region index).
   support::RngStream centers = rng_.split("centers");
   centers_.reserve(config_.regions);
+  // Batched draw: 2*regions consecutive uniform_real(0, world) values, in
+  // the same (x, y) interleaving the scalar loop used.
+  std::vector<double> coords(2 * config_.regions);
+  centers.fill_uniform(coords, 0.0, config_.world);
   for (std::size_t r = 0; r < config_.regions; ++r) {
-    const double x = centers.uniform_real(0.0, config_.world);
-    const double y = centers.uniform_real(0.0, config_.world);
-    centers_.emplace_back(x, y);
+    centers_.emplace_back(coords[2 * r], coords[2 * r + 1]);
   }
 }
 

@@ -77,6 +77,19 @@ ChurnTrace compile(std::string name, double duration, std::uint64_t initial,
   return trace;
 }
 
+/// Appends the `count` members alive at t=0, lifetimes drawn fresh from
+/// `law`. One uniform per session, filled in a single batched draw and
+/// transformed through the same inverse CDF the scalar loop applied, so the
+/// stream (and the trace) are bit-identical to the per-call path.
+void add_initial_sessions(std::vector<Session>& sessions, std::uint64_t count,
+                          const Lifetime& law, support::RngStream& rng) {
+  std::vector<double> uniforms(count);
+  rng.fill_uniform(uniforms);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    sessions.push_back({-1.0, law.sample_from(uniforms[i])});
+  }
+}
+
 /// Appends Poisson(rate) arrivals over [from, to) with i.i.d. lifetimes.
 template <typename LifetimeFn>
 void add_poisson_arrivals(std::vector<Session>& sessions, double from,
@@ -109,6 +122,30 @@ double Lifetime::mean() const {
                    "explicit arrival rate");
       }
       return shape * scale / (shape - 1.0);
+  }
+  bad_config("unknown lifetime law");
+}
+
+double Lifetime::sample_from(double u) const {
+  // Mirrors sample() exactly: uniform_real_open0() there is 1.0 - u here,
+  // and each law applies the identical floating-point expression (the
+  // exponential keeps the intermediate rate = 1/mean division) so batched
+  // and scalar draws agree bitwise.
+  const double u_open0 = 1.0 - u;
+  switch (law) {
+    case Law::kExponential: {
+      require_positive(mean_lifetime, "mean lifetime");
+      const double rate = 1.0 / mean_lifetime;
+      return -std::log(u_open0) / rate;
+    }
+    case Law::kWeibull:
+      require_positive(shape, "Weibull shape");
+      require_positive(scale, "Weibull scale");
+      return scale * std::pow(-std::log(u_open0), 1.0 / shape);
+    case Law::kPareto:
+      require_positive(shape, "Pareto alpha");
+      require_positive(scale, "Pareto x_min");
+      return scale * std::pow(u_open0, -1.0 / shape);
   }
   bad_config("unknown lifetime law");
 }
@@ -148,9 +185,8 @@ ChurnTrace generate_sessions(const SessionWorkloadConfig& config,
   const auto draw = [&config](support::RngStream& r) {
     return config.lifetime.sample(r);
   };
-  for (std::uint64_t i = 0; i < config.initial_sessions; ++i) {
-    sessions.push_back({-1.0, draw(init_rng)});
-  }
+  add_initial_sessions(sessions, config.initial_sessions, config.lifetime,
+                       init_rng);
   support::RngStream arrival_rng = rng.split("arrivals");
   add_poisson_arrivals(sessions, 0.0, config.duration, rate, draw,
                        arrival_rng);
@@ -179,9 +215,10 @@ ChurnTrace generate_diurnal(const DiurnalConfig& config,
 
   std::vector<Session> sessions;
   support::RngStream init_rng = rng.split("initial-lifetimes");
-  for (std::uint64_t i = 0; i < config.initial_sessions; ++i) {
-    sessions.push_back({-1.0, init_rng.exponential(1.0 / config.mean_lifetime)});
-  }
+  Lifetime initial_law;
+  initial_law.mean_lifetime = config.mean_lifetime;
+  add_initial_sessions(sessions, config.initial_sessions, initial_law,
+                       init_rng);
 
   // Inhomogeneous Poisson process by thinning (Lewis & Shedler): candidate
   // arrivals at the peak rate, each kept with probability lambda(t)/peak.
@@ -225,9 +262,10 @@ ChurnTrace generate_flash_crowd(const FlashCrowdConfig& config,
 
   std::vector<Session> sessions;
   support::RngStream init_rng = rng.split("initial-lifetimes");
-  for (std::uint64_t i = 0; i < config.initial_sessions; ++i) {
-    sessions.push_back({-1.0, init_rng.exponential(1.0 / config.mean_lifetime)});
-  }
+  Lifetime initial_law;
+  initial_law.mean_lifetime = config.mean_lifetime;
+  add_initial_sessions(sessions, config.initial_sessions, initial_law,
+                       init_rng);
   // Stationary baseline arrivals across the whole run.
   const auto baseline_lifetime = [&config](support::RngStream& r) {
     return r.exponential(1.0 / config.mean_lifetime);

@@ -42,6 +42,11 @@ struct Lifetime {
 
   [[nodiscard]] double mean() const;
   [[nodiscard]] double sample(support::RngStream& rng) const;
+  /// Inverse-CDF transform of one uniform u in [0, 1). `sample(rng)` is
+  /// exactly `sample_from(rng.uniform_real())` — batched callers fill a
+  /// uniform buffer with RngStream::fill_uniform and transform here, with
+  /// bit-identical arithmetic to the scalar path.
+  [[nodiscard]] double sample_from(double u) const;
 };
 
 struct SessionWorkloadConfig {

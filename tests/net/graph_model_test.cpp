@@ -123,8 +123,20 @@ TEST_P(GraphModelFuzz, RandomOperationSequencesStayEquivalent) {
     } else if (op < 70) {
       const NodeId a = pick_id();
       const NodeId b = pick_id();
+#if P2PSE_CHECK_ENABLED
+      // Checked builds treat a dead/out-of-range add_edge endpoint as a
+      // contract violation rather than a tolerant false.
+      if (a != b && (!model.is_alive(a) || !model.is_alive(b))) {
+        ASSERT_THROW((void)graph.add_edge(a, b), support::CheckFailure);
+        ASSERT_FALSE(model.add_edge(a, b));
+      } else {
+        ASSERT_EQ(graph.add_edge(a, b), model.add_edge(a, b))
+            << a << "-" << b << " at step " << step;
+      }
+#else
       ASSERT_EQ(graph.add_edge(a, b), model.add_edge(a, b))
           << a << "-" << b << " at step " << step;
+#endif
     } else if (op < 85) {
       const NodeId a = pick_id();
       const NodeId b = pick_id();

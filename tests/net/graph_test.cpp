@@ -60,8 +60,15 @@ TEST(Graph, RejectsDuplicateEdge) {
 TEST(Graph, RejectsEdgesToDeadOrInvalidNodes) {
   Graph g(3);
   g.remove_node(2);
+#if P2PSE_CHECK_ENABLED
+  // Checked builds promote dead-endpoint wiring from a tolerant false to a
+  // contract violation (callers must test is_alive first).
+  EXPECT_THROW((void)g.add_edge(0, 2), support::CheckFailure);
+  EXPECT_THROW((void)g.add_edge(0, 99), support::CheckFailure);
+#else
   EXPECT_FALSE(g.add_edge(0, 2));
   EXPECT_FALSE(g.add_edge(0, 99));
+#endif
   EXPECT_EQ(g.edge_count(), 0u);
 }
 
@@ -220,6 +227,45 @@ TEST(Graph, NoDuplicateNeighborsEver) {
     std::set<NodeId> unique(nbs.begin(), nbs.end());
     EXPECT_EQ(unique.size(), nbs.size());
   }
+}
+
+TEST(Graph, ArenaReachesSteadyStateUnderChurnRejoin) {
+  // Leave/rejoin churn at bounded degree must recycle adjacency chunks
+  // through the free lists instead of leaking arena space: after a warmup
+  // that populates the per-size free lists, the arena stops growing. The
+  // run is fully deterministic at a fixed seed.
+  Graph g;
+  support::RngStream rng(7);
+  std::vector<NodeId> members;
+  members.reserve(64);
+  for (int i = 0; i < 64; ++i) members.push_back(g.add_node());
+  const auto wire = [&](NodeId id) {
+    for (int k = 0; k < 6; ++k) {
+      const NodeId peer = g.random_alive(rng);
+      if (peer == id || g.degree(peer) >= 10) continue;
+      (void)g.add_edge(id, peer);
+    }
+  };
+  for (const NodeId id : members) wire(id);
+  const auto churn_cycle = [&] {
+    const auto victim =
+        static_cast<std::size_t>(rng.uniform_u64(members.size()));
+    g.remove_node(members[victim]);
+    members[victim] = g.add_node();
+    wire(members[victim]);
+  };
+  for (int i = 0; i < 2000; ++i) churn_cycle();
+  const std::size_t warm_arena = g.arena_size();
+  for (int i = 0; i < 4000; ++i) churn_cycle();
+  // 4000 rejoins allocate ~2 chunks each; without recycling the arena would
+  // grow by ~100k slots. Allow one stray chunk per size class for the slow
+  // drift of the per-class high-water mark.
+  EXPECT_LE(g.arena_size(), warm_arena + 64);
+  EXPECT_LE(g.arena_free(), g.arena_size());
+  // Removing every node returns every chunk to the free lists.
+  while (!g.empty()) g.remove_node(g.alive_nodes().front());
+  EXPECT_EQ(g.arena_free(), g.arena_size());
+  EXPECT_EQ(g.edge_count(), 0u);
 }
 
 }  // namespace

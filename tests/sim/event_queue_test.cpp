@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <utility>
 #include <vector>
 
 namespace p2pse::sim {
@@ -105,6 +110,130 @@ TEST(EventQueue, RunNextOnEmptyThrows) {
   q.schedule(2.0, [&] { ++fired; });
   EXPECT_DOUBLE_EQ(q.run_next(), 2.0);
   EXPECT_EQ(fired, 1);
+}
+
+// --- Event storage: inline buffer, pool spill, block reuse ------------------
+
+TEST(EventQueue, SmallCapturesNeverTouchThePool) {
+  EventQueue q;
+  long sum = 0;
+  for (int i = 0; i < 100; ++i) {
+    q.schedule(static_cast<double>(i), [&sum, i] { sum += i; });
+  }
+  EXPECT_EQ(q.pool_capacity(), 0u);  // the pool was never even created
+  EXPECT_EQ(q.run_until(100.0), 100u);
+  EXPECT_EQ(sum, 4950);
+  EXPECT_EQ(q.pool_capacity(), 0u);
+}
+
+TEST(EventQueue, OversizedCaptureSpillsToPoolAndRunsCorrectly) {
+  EventQueue q;
+  std::array<double, 16> payload{};  // 128 bytes: exceeds the inline buffer
+  std::iota(payload.begin(), payload.end(), 1.0);
+  double sum = 0.0;
+  q.schedule(1.0, [payload, &sum] {
+    for (const double v : payload) sum += v;
+  });
+  EXPECT_EQ(q.pool_in_use(), 1u);
+  EXPECT_GT(q.pool_capacity(), 0u);
+  EXPECT_DOUBLE_EQ(q.run_next(), 1.0);
+  EXPECT_DOUBLE_EQ(sum, 136.0);
+  EXPECT_EQ(q.pool_in_use(), 0u);
+}
+
+TEST(EventQueue, PoolBlocksAreRecycledAcrossScheduleFireCycles) {
+  EventQueue q;
+  std::array<char, 100> blob{};
+  int fired = 0;
+  q.schedule(0.0, [blob, &fired] {
+    (void)blob;
+    ++fired;
+  });
+  (void)q.run_next();
+  const std::size_t capacity = q.pool_capacity();
+  EXPECT_GT(capacity, 0u);
+  // Steady-state spill traffic must recycle freed blocks, not grow slabs.
+  for (int i = 1; i <= 200; ++i) {
+    q.schedule(static_cast<double>(i), [blob, &fired] {
+      (void)blob;
+      ++fired;
+    });
+    (void)q.run_next();
+  }
+  EXPECT_EQ(fired, 201);
+  EXPECT_EQ(q.pool_capacity(), capacity);
+  EXPECT_EQ(q.pool_in_use(), 0u);
+}
+
+TEST(EventQueue, ClearReleasesSpilledEventsBackToThePool) {
+  EventQueue q;
+  std::array<char, 100> blob{};
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(static_cast<double>(i), [blob] { (void)blob; });
+  }
+  EXPECT_EQ(q.pool_in_use(), 8u);
+  const std::size_t capacity = q.pool_capacity();
+  q.clear();
+  EXPECT_EQ(q.pool_in_use(), 0u);
+  EXPECT_EQ(q.pool_capacity(), capacity);
+  // Post-clear spills reuse the released blocks.
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(static_cast<double>(i), [blob] { (void)blob; });
+  }
+  EXPECT_EQ(q.pool_in_use(), 8u);
+  EXPECT_EQ(q.pool_capacity(), capacity);
+}
+
+TEST(EventQueue, CaptureBeyondBlockSizeFallsBackToHeap) {
+  EventQueue q;
+  std::array<double, 64> big{};  // 512 bytes: larger than one pool block
+  big[0] = 7.0;
+  big[63] = 35.0;
+  double got = 0.0;
+  q.schedule(1.0, [big, &got] { got = big[0] + big[63]; });
+  EXPECT_EQ(q.pool_in_use(), 0u);  // heap-backed, not pool-backed
+  (void)q.run_next();
+  EXPECT_DOUBLE_EQ(got, 42.0);
+}
+
+TEST(EventQueue, DroppingPendingEventsDestroysTheirCaptures) {
+  const auto token = std::make_shared<int>(1);
+  {
+    EventQueue q;
+    q.schedule(1.0, [token] {});  // inline storage
+    {
+      std::array<std::shared_ptr<int>, 10> many;  // 160 bytes: spilled
+      many.fill(token);
+      q.schedule(2.0, [many] {});
+    }
+    EXPECT_EQ(token.use_count(), 12);
+    q.clear();
+    EXPECT_EQ(token.use_count(), 1);
+    q.schedule(3.0, [token] {});
+  }  // destroying the queue must also destroy still-pending captures
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, LargeRandomWorkloadFiresInTimeThenInsertionOrder) {
+  EventQueue q;
+  std::vector<std::pair<double, int>> fired;
+  std::uint64_t state = 12345;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int i = 0; i < 5000; ++i) {
+    const auto when = static_cast<double>(next() % 512);
+    q.schedule(when, [&fired, when, i] { fired.emplace_back(when, i); });
+  }
+  while (!q.empty()) (void)q.run_next();
+  ASSERT_EQ(fired.size(), 5000u);
+  for (std::size_t k = 1; k < fired.size(); ++k) {
+    ASSERT_LE(fired[k - 1].first, fired[k].first);
+    if (fired[k - 1].first == fired[k].first) {
+      ASSERT_LT(fired[k - 1].second, fired[k].second);  // FIFO within a tie
+    }
+  }
 }
 
 }  // namespace

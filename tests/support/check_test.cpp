@@ -12,6 +12,7 @@
 
 #include "p2pse/net/graph.hpp"
 #include "p2pse/net/session.hpp"
+#include "p2pse/scenario/timeline.hpp"
 #include "p2pse/sim/channel.hpp"
 #include "p2pse/sim/event_queue.hpp"
 #include "p2pse/support/rng.hpp"
@@ -166,6 +167,37 @@ TEST(CheckedBuild, GraphDetectsReentrantObserverChurn) {
   EXPECT_THROW(graph.remove_node(2), support::CheckFailure);
 }
 
+TEST(CheckedBuild, GraphAddEdgeRejectsDeadOrOutOfRangeEndpoint) {
+  net::Graph graph(3);
+  graph.remove_node(1);
+  // Wiring a dead (or never-created) endpoint is a caller bug: callers that
+  // accept untrusted ids must probe is_alive() first (graph_io does).
+  EXPECT_THROW((void)graph.add_edge(0, 1), support::CheckFailure);
+  EXPECT_THROW((void)graph.add_edge(99, 0), support::CheckFailure);
+  // Self-loops stay a tolerant false in both modes (probed speculatively by
+  // random wiring loops), and live endpoints are untouched.
+  EXPECT_FALSE(graph.add_edge(2, 2));
+  EXPECT_TRUE(graph.add_edge(0, 2));
+  EXPECT_EQ(graph.edge_count(), 1u);
+}
+
+TEST(CheckedBuild, ScenarioCursorRejectsBackwardsDrive) {
+  scenario::ScenarioScript script;
+  script.duration = 100.0;
+  net::Graph graph(16);
+  scenario::ScenarioCursor cursor(script, graph, support::RngStream(5));
+  cursor.advance_to(50.0);
+  // Re-advancing to the current time is legal (idempotent round drivers)...
+  EXPECT_NO_THROW(cursor.advance_to(50.0));
+  // ...as is overshooting the script's end, repeatedly (the clamp).
+  EXPECT_NO_THROW(cursor.advance_to(500.0));
+  EXPECT_NO_THROW(cursor.advance_to(200.0));
+  // But a genuinely backwards drive silently skips churn: contract violation.
+  scenario::ScenarioCursor fresh(script, graph, support::RngStream(5));
+  fresh.advance_to(50.0);
+  EXPECT_THROW(fresh.advance_to(49.0), support::CheckFailure);
+}
+
 TEST(CheckedBuild, TraceCursorDetectsUnsortedTraceReplay) {
   // A trace that passed validate() cannot be unsorted; replaying a
   // hand-built one that skipped validation must fire, not desynchronize.
@@ -212,6 +244,26 @@ TEST(UncheckedBuild, MacroDoesNotEvaluateItsCondition) {
   P2PSE_CHECK((touched = true));
   P2PSE_CHECK_MSG((touched = true), "never built");
   EXPECT_FALSE(touched);
+}
+
+TEST(UncheckedBuild, GraphAddEdgeToleratesDeadEndpoints) {
+  net::Graph graph(3);
+  graph.remove_node(1);
+  // Documented tolerant behavior without the contract layer: reject quietly.
+  EXPECT_FALSE(graph.add_edge(0, 1));
+  EXPECT_FALSE(graph.add_edge(99, 0));
+  EXPECT_EQ(graph.edge_count(), 0u);
+}
+
+TEST(UncheckedBuild, ScenarioCursorToleratesBackwardsDrive) {
+  scenario::ScenarioScript script;
+  script.duration = 100.0;
+  net::Graph graph(16);
+  scenario::ScenarioCursor cursor(script, graph, support::RngStream(5));
+  cursor.advance_to(50.0);
+  // No monotonicity bookkeeping compiled in: backwards drive is a no-op.
+  EXPECT_NO_THROW(cursor.advance_to(25.0));
+  EXPECT_DOUBLE_EQ(cursor.now(), 50.0);
 }
 
 TEST(UncheckedBuild, EventQueueToleratesBackwardScheduling) {

@@ -235,6 +235,64 @@ TEST(RngStream, SampleWithoutReplacementIsUniform) {
   EXPECT_LT(chi_square_uniform(counts), 50.0);
 }
 
+// --- Batched draws: must consume the stream exactly like the scalar APIs ---
+// (this equality is what keeps figure outputs byte-identical when a call
+// site switches to the batched form).
+
+TEST(RngStream, FillUniformMatchesScalarUniformRealStream) {
+  RngStream batched(91);
+  RngStream scalar(91);
+  std::vector<double> out(257);  // odd size: no power-of-two alignment luck
+  batched.fill_uniform(out);
+  for (const double v : out) {
+    EXPECT_EQ(v, scalar.uniform_real());  // bit-exact, not just close
+  }
+  // Both streams must be in the same state afterwards.
+  EXPECT_EQ(batched.next_u64(), scalar.next_u64());
+}
+
+TEST(RngStream, FillUniformRangeMatchesScalarStream) {
+  RngStream batched(92);
+  RngStream scalar(92);
+  std::vector<double> out(64);
+  batched.fill_uniform(out, -3.0, 17.0);
+  for (const double v : out) {
+    EXPECT_EQ(v, scalar.uniform_real(-3.0, 17.0));
+  }
+  EXPECT_EQ(batched.next_u64(), scalar.next_u64());
+}
+
+TEST(RngStream, BoundedBatchMatchesScalarUniformU64Stream) {
+  RngStream batched(93);
+  RngStream scalar(93);
+  std::vector<std::uint64_t> out(200);
+  // A non-power-of-two bound exercises Lemire rejection resampling.
+  batched.bounded_batch(out, 10007);
+  for (const std::uint64_t v : out) {
+    EXPECT_EQ(v, scalar.uniform_u64(10007));
+    EXPECT_LT(v, 10007u);
+  }
+  EXPECT_EQ(batched.next_u64(), scalar.next_u64());
+}
+
+TEST(RngStream, BoundedBatchWithZeroBoundFillsZerosWithoutDrawing) {
+  RngStream batched(94);
+  RngStream untouched(94);
+  std::vector<std::uint64_t> out(16, 77);
+  batched.bounded_batch(out, 0);
+  for (const std::uint64_t v : out) EXPECT_EQ(v, 0u);
+  // Degenerate bound consumes nothing, like the scalar uniform_u64(0).
+  EXPECT_EQ(batched.next_u64(), untouched.next_u64());
+}
+
+TEST(RngStream, FillUniformOnEmptySpanIsANoOp) {
+  RngStream batched(95);
+  RngStream untouched(95);
+  batched.fill_uniform(std::span<double>{});
+  batched.bounded_batch(std::span<std::uint64_t>{}, 42);
+  EXPECT_EQ(batched.next_u64(), untouched.next_u64());
+}
+
 TEST(RngStream, PickReturnsContainedElement) {
   RngStream rng(43);
   const std::vector<int> v{5, 6, 7};

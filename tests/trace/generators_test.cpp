@@ -204,5 +204,29 @@ TEST(Generators, ZeroInitialSessionsBootstrapsFromArrivalsOnly) {
   EXPECT_GT(summary.joins, 100u);  // ~400 expected
 }
 
+TEST(Lifetime, SampleFromMatchesScalarSampleBitwise) {
+  // sample(rng) must equal sample_from(rng.uniform_real()) bit-for-bit —
+  // the property that lets the generators batch their initial-lifetime
+  // draws (fill_uniform + sample_from) without moving any golden trace.
+  Lifetime exponential;
+  Lifetime weibull;
+  weibull.law = Lifetime::Law::kWeibull;
+  weibull.shape = 0.5;
+  weibull.scale = 120.0;
+  Lifetime pareto;
+  pareto.law = Lifetime::Law::kPareto;
+  pareto.shape = 1.5;
+  pareto.scale = 10.0;
+  for (const Lifetime& law : {exponential, weibull, pareto}) {
+    support::RngStream scalar(4242);
+    support::RngStream batched(4242);
+    for (int i = 0; i < 500; ++i) {
+      const double direct = law.sample(scalar);
+      const double transformed = law.sample_from(batched.uniform_real());
+      EXPECT_EQ(direct, transformed);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace p2pse::trace
