@@ -11,11 +11,15 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 
 #include "p2pse/harness/figures.hpp"
+#include "p2pse/obs/rusage.hpp"
+#include "p2pse/obs/stats_writer.hpp"
+#include "p2pse/obs/telemetry.hpp"
 #include "p2pse/support/args.hpp"
 
 namespace p2pse::harness {
@@ -23,7 +27,7 @@ namespace p2pse::harness {
 inline constexpr std::string_view kFigureFlags[] = {
     "nodes",      "seed",   "estimations", "replicas", "l",
     "T",          "agg-rounds", "last-k",  "threads",  "csv",
-    "net",        "topo",
+    "net",        "topo",   "stats-json",  "trace-json", "progress",
 };
 
 /// Maps the shared CLI flags onto `params`. Shared by figure_main and the
@@ -47,18 +51,82 @@ inline FigureParams figure_params_from_args(const support::Args& args,
   return params;
 }
 
-/// The --csv PATH value, or std::nullopt when the flag is absent. A bare
-/// `--csv` (which Args parses as boolean "true") is a hard error — it must
-/// not silently write a file literally named "true".
-inline std::optional<std::string> csv_path_from_args(
-    const support::Args& args) {
-  if (!args.has("csv")) return std::nullopt;
-  const std::string path = args.get_string("csv", "");
+/// A PATH-valued flag, or std::nullopt when the flag is absent. A bare flag
+/// (which Args parses as boolean "true") is a hard error — it must not
+/// silently write a file literally named "true".
+inline std::optional<std::string> path_from_args(const support::Args& args,
+                                                 std::string_view flag) {
+  if (!args.has(flag)) return std::nullopt;
+  const std::string path = args.get_string(flag, "");
   if (path.empty() || path == "true") {
-    throw std::invalid_argument("--csv requires a PATH value");
+    throw std::invalid_argument("--" + std::string(flag) +
+                                " requires a PATH value");
   }
   return path;
 }
+
+/// The --csv PATH value, or std::nullopt when the flag is absent.
+inline std::optional<std::string> csv_path_from_args(
+    const support::Args& args) {
+  return path_from_args(args, "csv");
+}
+
+/// The telemetry side-channel of one CLI run: --stats-json / --trace-json /
+/// --progress parsing, the RunTelemetry lifetime, and the side-file writes.
+/// Stdout reports stay byte-identical whether or not any flag is set —
+/// telemetry only ever adds side files.
+struct TelemetryCli {
+  std::optional<std::string> stats_path;
+  std::optional<std::string> trace_path;
+  std::unique_ptr<obs::RunTelemetry> telemetry;
+
+  /// Parses the three flags; the sink exists only when at least one is set.
+  static TelemetryCli from_args(const support::Args& args) {
+    TelemetryCli cli;
+    cli.stats_path = path_from_args(args, "stats-json");
+    cli.trace_path = path_from_args(args, "trace-json");
+    const bool progress = args.get_bool("progress", false);
+    if (cli.stats_path || cli.trace_path || progress) {
+      cli.telemetry = std::make_unique<obs::RunTelemetry>();
+      if (progress) cli.telemetry->enable_progress();
+    }
+    return cli;
+  }
+
+  /// The sink generators snapshot into (null when telemetry is off).
+  [[nodiscard]] obs::RunTelemetry* sink() const noexcept {
+    return telemetry.get();
+  }
+
+  /// Writes the requested side files. Call once, after the report ran; the
+  /// `sim` section is a pure function of the run, the `host` section reads
+  /// this process's clocks and peak RSS.
+  void write(const FigureReport& report, const FigureParams& params) const {
+    if (!telemetry) return;
+    if (stats_path) {
+      std::ofstream out(*stats_path);
+      if (!out) {
+        throw std::runtime_error("cannot open --stats-json path '" +
+                                 *stats_path + "' for writing");
+      }
+      obs::HostStats host;
+      host.threads_requested = static_cast<int>(params.threads);
+      host.peak_rss_kb = obs::peak_rss_kb();
+      host.phase_seconds = telemetry->trace().phase_totals();
+      out << obs::run_stats_document(
+          obs::sim_section(report.id, report.params, telemetry->sim()),
+          obs::host_section(host));
+    }
+    if (trace_path) {
+      std::ofstream out(*trace_path);
+      if (!out) {
+        throw std::runtime_error("cannot open --trace-json path '" +
+                                 *trace_path + "' for writing");
+      }
+      telemetry->trace().write(out);
+    }
+  }
+};
 
 /// Writes the report's machine-readable series to `path` (--csv PATH).
 inline void write_csv_to_path(const FigureReport& report,
@@ -107,7 +175,15 @@ inline int figure_main(int argc, char** argv, std::string_view figure_id) {
           "  --topo SPEC       per-link topology, e.g. "
           "topo:clustered,regions=8,mix=0:0.2:0.8\n"
           "                    (models: flat, classes, clustered; default "
-          "flat)\n",
+          "flat)\n"
+          "  --stats-json PATH versioned JSON run summary: deterministic "
+          "`sim` counters\n"
+          "                    (byte-identical at any --threads) + `host` "
+          "wall-clock/RSS\n"
+          "  --trace-json PATH Chrome trace-event span profile "
+          "(chrome://tracing, Perfetto)\n"
+          "  --progress        wall-clock-gated heartbeat on stderr (max 1 "
+          "line/s)\n",
           argv[0], std::string(spec->what).c_str(), d.nodes,
           static_cast<unsigned long long>(d.seed), d.estimations, d.replicas,
           d.sc_collisions, d.sc_timer, d.agg_rounds, d.last_k, d.threads);
@@ -115,9 +191,12 @@ inline int figure_main(int argc, char** argv, std::string_view figure_id) {
     }
     args.require_known(std::span<const std::string_view>(kFigureFlags));
     const std::optional<std::string> csv_path = csv_path_from_args(args);
-    const FigureParams params = figure_params_from_args(args, d);
+    const TelemetryCli telemetry = TelemetryCli::from_args(args);
+    FigureParams params = figure_params_from_args(args, d);
+    params.telemetry = telemetry.sink();
     const FigureReport report = run_figure(*spec, params);
     if (csv_path) write_csv_to_path(report, *csv_path);
+    telemetry.write(report, params);
     print_report(std::cout, report);
     return 0;
   } catch (const std::exception& error) {

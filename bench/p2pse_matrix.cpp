@@ -88,7 +88,14 @@ int main(int argc, char** argv) {
           "                       (models: flat, classes, clustered; default "
           "flat)\n"
           "  --list               print every estimator, scenario, trace "
-          "model, and topology model with keys\n",
+          "model, and topology model with keys\n"
+          "  --stats-json PATH    versioned JSON run summary (deterministic "
+          "`sim` section\n"
+          "                       + host wall-clock/RSS `host` section)\n"
+          "  --trace-json PATH    Chrome trace-event span profile "
+          "(chrome://tracing, Perfetto)\n"
+          "  --progress           wall-clock-gated heartbeat on stderr (max "
+          "1 line/s)\n",
           argv[0]);
       return 0;
     }
@@ -97,9 +104,12 @@ int main(int argc, char** argv) {
         "nodes",     "seed",     "estimations",     "replicas",
         "l",         "T",        "agg-rounds",      "last-k",
         "threads",   "csv",      "net",             "topo",
+        "stats-json", "trace-json", "progress",
     };
     args.require_known(std::span<const std::string_view>(kFlags));
     const auto csv_path = harness::csv_path_from_args(args);
+    const harness::TelemetryCli telemetry =
+        harness::TelemetryCli::from_args(args);
     if (args.get_bool("list", false)) {
       print_matrix_axes();
       return 0;
@@ -112,6 +122,7 @@ int main(int argc, char** argv) {
     harness::FigureParams defaults;
     defaults.nodes = 10000;
     options.params = harness::figure_params_from_args(args, defaults);
+    options.params.telemetry = telemetry.sink();
 
     // The paper-parameter shorthands flow into the spec as overrides (an
     // explicit key in --estimator wins).
@@ -130,6 +141,7 @@ int main(int argc, char** argv) {
 
     const harness::FigureReport report = harness::run_matrix(options);
     if (csv_path) harness::write_csv_to_path(report, *csv_path);
+    telemetry.write(report, options.params);
     harness::print_report(std::cout, report);
     return 0;
   } catch (const std::exception& error) {

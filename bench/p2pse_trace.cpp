@@ -87,7 +87,12 @@ void print_usage(const char* program) {
       "  --topo SPEC          replay: per-link topology "
       "(topo:clustered,regions=8,...)\n"
       "  --list               print every trace model, estimator, scenario, "
-      "and topology model\n",
+      "and topology model\n"
+      "  --stats-json PATH    replay: versioned JSON run summary "
+      "(deterministic `sim`\n"
+      "                       section + host wall-clock/RSS `host` section)\n"
+      "  --trace-json PATH    replay: Chrome trace-event span profile\n"
+      "  --progress           replay: wall-clock-gated heartbeat on stderr\n",
       program);
 }
 
@@ -189,8 +194,12 @@ int run_replay(const support::Args& args) {
   options.estimator = spec.canonical();
 
   const auto csv_path = harness::csv_path_from_args(args);
+  const harness::TelemetryCli telemetry =
+      harness::TelemetryCli::from_args(args);
+  options.params.telemetry = telemetry.sink();
   const harness::FigureReport report = harness::run_matrix(options);
   if (csv_path) harness::write_csv_to_path(report, *csv_path);
+  telemetry.write(report, options.params);
   harness::print_report(std::cout, report);
   return 0;
 }
@@ -209,7 +218,7 @@ int main(int argc, char** argv) {
         "rounds-per-unit", "replicas", "seed",  "threads",
         "csv",         "list",     "workload",  "l",
         "T",           "agg-rounds", "last-k",  "net",
-        "topo",
+        "topo",        "stats-json", "trace-json", "progress",
     };
     args.require_known(std::span<const std::string_view>(kFlags));
     if (args.get_bool("list", false)) {

@@ -17,8 +17,10 @@ SizeMonitor::SizeMonitor(SizeMonitorConfig config, EstimatorFn estimator)
 std::optional<MonitorSample> SizeMonitor::poll(sim::Simulator& sim,
                                                support::RngStream& rng) {
   ++polls_;
+  if (metrics_) metrics_->add("monitor.polls");
   if (sim.graph().empty()) {
     ++failures_;
+    if (metrics_) metrics_->add("monitor.failures");
     return std::nullopt;
   }
   if (!sim.graph().is_alive(initiator_)) {
@@ -27,6 +29,7 @@ std::optional<MonitorSample> SizeMonitor::poll(sim::Simulator& sim,
   const Estimate raw = estimator_(sim, initiator_, rng);
   if (!raw.valid) {
     ++failures_;
+    if (metrics_) metrics_->add("monitor.failures");
     return std::nullopt;
   }
   MonitorSample sample;
@@ -39,8 +42,10 @@ std::optional<MonitorSample> SizeMonitor::poll(sim::Simulator& sim,
     if (change > config_.alarm_threshold) {
       sample.alarm = true;
       ++alarms_;
+      if (metrics_) metrics_->add("monitor.alarms");
     }
   }
+  if (metrics_) metrics_->set_gauge("monitor.estimate", current_);
   history_.push_back(sample);
   if (history_.size() > config_.history_limit) {
     history_.erase(history_.begin(),

@@ -12,6 +12,7 @@
 #include "p2pse/est/estimate.hpp"
 #include "p2pse/est/smoothing.hpp"
 #include "p2pse/net/graph.hpp"
+#include "p2pse/obs/metrics.hpp"
 #include "p2pse/sim/simulator.hpp"
 #include "p2pse/support/rng.hpp"
 
@@ -56,6 +57,11 @@ class SizeMonitor {
   [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
   [[nodiscard]] std::uint64_t alarms() const noexcept { return alarms_; }
 
+  /// Optional metrics sink (non-owning; nullptr detaches). Every successful
+  /// poll publishes the rolling estimate as gauge "monitor.estimate" and
+  /// bumps counters "monitor.polls" / "monitor.failures" / "monitor.alarms".
+  void set_metrics(obs::Metrics* metrics) noexcept { metrics_ = metrics; }
+
  private:
   SizeMonitorConfig config_;
   EstimatorFn estimator_;
@@ -66,6 +72,7 @@ class SizeMonitor {
   std::uint64_t polls_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t alarms_ = 0;
+  obs::Metrics* metrics_ = nullptr;
 };
 
 }  // namespace p2pse::est

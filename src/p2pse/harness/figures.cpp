@@ -23,6 +23,7 @@
 #include "p2pse/net/builders.hpp"
 #include "p2pse/net/cyclon.hpp"
 #include "p2pse/net/random_walk.hpp"
+#include "p2pse/obs/telemetry.hpp"
 #include "p2pse/scenario/runner.hpp"
 #include "p2pse/scenario/scenarios.hpp"
 #include "p2pse/sim/simulator.hpp"
@@ -103,6 +104,32 @@ std::string net_suffix(const sim::NetworkConfig& net) {
 /// pre-topology figures (and an explicit "topo:flat") stay byte-identical.
 std::string topo_suffix(const topo::TopologyConfig& topology) {
   return topology.flat() ? std::string{} : " " + topology.canonical();
+}
+
+/// Snapshots one simulator's embedded counters into the figure's telemetry
+/// sink; no-op (and zero work) without a sink. Call once per Simulator
+/// after all of its traffic ran — see obs::collect for the set_network
+/// caveat. Never touches an RNG stream, so reports stay byte-identical
+/// with or without a sink.
+void obs_snapshot(const FigureParams& params, const sim::Simulator& sim) {
+  if (params.telemetry != nullptr) {
+    params.telemetry->add_replica(obs::collect(sim));
+  }
+}
+
+/// Graph-only figures (no Simulator): snapshot the build counters alone.
+void obs_snapshot(const FigureParams& params, const net::Graph& graph) {
+  if (params.telemetry != nullptr) {
+    params.telemetry->add_replica(obs::collect(graph));
+  }
+}
+
+/// Opens a named trace span (inert without a sink). `tid` is the viewer
+/// lane: 0 = the coordinating thread, 1+ = replica workers.
+obs::Span obs_span(const FigureParams& params, const char* name,
+                   int tid = 0) {
+  if (params.telemetry == nullptr) return obs::Span{};
+  return params.telemetry->span(name, tid);
 }
 
 /// Generators whose machinery does not route traffic through a
@@ -303,23 +330,32 @@ FigureReport fig_static_quality(const FigureSpec& spec,
   const topo::TopologyConfig topology = topo_config(params);
   const RngStream root(params.seed);
   const auto outcomes = run_static_replicas(params, [&](std::size_t rep) {
+    const int lane = static_cast<int>(rep) + 1;
     RngStream graph_rng = root.split("graph", rep);
+    obs::Span build_span = obs_span(params, "graph-build", lane);
     sim::Simulator sim(build_hetero(params.nodes, graph_rng),
                        root.split("sim", rep).seed());
     sim.set_network(net);
-    sim.set_topology(topology);
+    build_span = obs::Span{};
+    {
+      const obs::Span embed_span = obs_span(params, "topo-embed", lane);
+      sim.set_topology(topology);
+    }
     RngStream pick = root.split("initiator", rep);
     RngStream est_rng = root.split("estimator", rep);
     const std::unique_ptr<est::Estimator> estimator = proto->clone();
     const net::NodeId initiator = sim.graph().random_alive(pick);
+    const obs::Span sim_span = obs_span(params, "simulate", lane);
     StaticSeriesResult result = run_static_series(
         sim, params.estimations, params.last_k, est_rng, initiator,
         *estimator);
     if (sim.topology()) {
       result.class_census = sim.topology()->alive_class_counts();
     }
+    obs_snapshot(params, sim);
     return result;
   });
+  const obs::Span merge_span = obs_span(params, "merge");
   StaticSeriesResult r;  // cross-replica aggregates, merged in replica order
   for (const auto& o : outcomes) {
     r.err_one_shot.merge(o.err_one_shot);
@@ -415,7 +451,9 @@ FigureReport fig_agg_convergence(const FigureSpec& spec,
   // Build it once; each run gets its own copy so runs can fan out in
   // parallel without sharing a mutable Simulator.
   RngStream graph_rng = root.split("graph");
+  obs::Span build_span = obs_span(params, "graph-build");
   const net::Graph graph = build_hetero(params.nodes, graph_rng);
+  build_span = obs::Span{};
 
   est::EstimatorSpec espec = est::EstimatorSpec::parse(spec.estimator);
   espec.set_default("rounds",
@@ -448,6 +486,8 @@ FigureReport fig_agg_convergence(const FigureSpec& spec,
     // Per-run sim seed: the sim's root stream only feeds the channel, so
     // this keeps runs' loss/latency draws independent without touching the
     // (ideal-channel) byte-identity contract.
+    const obs::Span sim_span =
+        obs_span(params, "simulate", static_cast<int>(run) + 1);
     sim::Simulator sim(graph, root.split("sim", run).seed());
     sim.set_network(net);
     sim.set_topology(topology);
@@ -475,8 +515,10 @@ FigureReport fig_agg_convergence(const FigureSpec& spec,
       }
       out.total_delay = e.delay;  // cumulative across the epoch's rounds
     }
+    obs_snapshot(params, sim);
     return out;
   });
+  const obs::Span merge_span = obs_span(params, "merge");
 
   for (std::size_t run = 0; run < runs.size(); ++run) {
     report.notes.push_back(
@@ -512,8 +554,11 @@ FigureReport fig_scale_free_degrees(const FigureSpec&,
   require_flat_topo(params, "fig_scale_free_degrees");
   const RngStream root(params.seed);
   RngStream graph_rng = root.split("graph");
+  obs::Span build_span = obs_span(params, "graph-build");
   const net::Graph graph =
       net::build_barabasi_albert({params.nodes, 3}, graph_rng);
+  build_span = obs::Span{};
+  obs_snapshot(params, graph);
   const net::DegreeStats stats = net::degree_stats(graph);
   const auto bins = support::log_binned(stats.histogram);
   const double slope = support::power_law_slope(bins);
@@ -631,6 +676,7 @@ FigureReport fig_scale_free_compare(const FigureSpec&,
                            "% (paper: still accurate on scale-free)");
     report.series.push_back(std::move(s));
   }
+  obs_snapshot(params, sim);
   return report;
 }
 
@@ -669,13 +715,14 @@ FigureReport dynamic_tracking(const est::Estimator& proto,
   const scenario::ScenarioRunner runner(workload, hetero_factory(nodes),
                                         params.seed);
   const scenario::ScenarioRunner::RunOptions options{
-      params.estimations, rounds_per_unit, net, topology};
+      params.estimations, rounds_per_unit, net, topology, params.telemetry};
   const ParallelReplicaRunner pool(params.threads);
   const std::size_t replica_count = std::max<std::size_t>(1, params.replicas);
   const auto replicas =
       pool.map<scenario::Series>(replica_count, [&](std::size_t r) {
         return runner.run(proto, options, static_cast<std::uint64_t>(r));
       });
+  const obs::Span merge_span = obs_span(params, "merge");
 
   // Captions/axes always describe the estimator that actually ran — the
   // prototype's config, not FigureParams (a matrix spec override like
@@ -886,6 +933,7 @@ FigureReport table1_overhead(const FigureSpec&, const FigureParams& params) {
       "accuracy ordering: Aggregation ~exact; S&C last10 few %; S&C oneShot "
       "~10%; HopsSampling under-estimates ~20%",
   };
+  obs_snapshot(params, sim);
   return report;
 }
 
@@ -931,6 +979,7 @@ FigureReport ablation_sc_l_sweep(const FigureSpec&,
       cell.err.add(std::abs(support::quality_percent(e.value, truth) - 100.0));
       cell.msgs.add(static_cast<double>(e.messages));
     }
+    obs_snapshot(params, sim);
     return cell;
   });
   const double base_cost = cells.front().msgs.mean();
@@ -988,6 +1037,7 @@ FigureReport ablation_sc_timer_sweep(const FigureSpec&,
     }
     cell.chi2_per_df =
         support::chi_square_uniform(counts) / static_cast<double>(n - 1);
+    obs_snapshot(params, sim);
     return cell;
   });
   for (std::size_t i = 0; i < timers.size(); ++i) {
@@ -1046,6 +1096,7 @@ FigureReport ablation_hs_oracle(const FigureSpec&,
       "under-estimation comes from the spread phase (partial reach, "
       "inaccurate distances), ~11% of nodes unreached at 1e5",
   };
+  obs_snapshot(params, sim);
   return report;
 }
 
@@ -1093,6 +1144,7 @@ FigureReport ablation_estimators(const FigureSpec&,
       "identical RNG stream per variant: differences are purely the "
       "estimator formula",
   };
+  obs_snapshot(params, sim);
   return report;
 }
 
@@ -1155,6 +1207,7 @@ FigureReport ablation_homogeneous(const FigureSpec&,
            format_double(
                std::abs(support::quality_percent(e.value, truth) - 100.0), 3)});
     }
+    obs_snapshot(params, sim);
   }
   report.notes = {
       "paper: homogeneous graphs 'consistently improved all algorithms'; the "
@@ -1221,6 +1274,7 @@ FigureReport ablation_baselines(const FigureSpec&,
              return ibp.estimate_once(s, i, r);
            },
            root.split("ibp"));
+    obs_snapshot(params, sim);
   };
 
   {
@@ -1273,6 +1327,7 @@ FigureReport ablation_cyclon_healing(const FigureSpec&,
     report.table_rows.push_back({label, format_double(largest, 4),
                                  std::to_string(info.count()),
                                  format_double(err, 3)});
+    obs_snapshot(params, sim);
   };
 
   // Static wiring: build, then remove half with no healing (§IV-A rule).
@@ -1370,6 +1425,7 @@ FigureReport ablation_delay(const FigureSpec&, const FigureParams& params) {
       "terms of delay' — a parallel spread beats 50 synchronized rounds and, "
       "by orders of magnitude, sequential sampling",
   };
+  obs_snapshot(params, sim);
   return report;
 }
 
@@ -1446,6 +1502,7 @@ FigureReport ablation_structured(const FigureSpec&,
       "nearly free and very accurate — but it simply does not exist on "
       "unstructured overlays, which is the paper's §I scoping argument",
   };
+  obs_snapshot(params, sim);
   return report;
 }
 
@@ -1517,6 +1574,7 @@ FigureReport ablation_polling(const FigureSpec&, const FigureParams& params) {
       "paper's §V warns about); the graded schedule caps replies at the "
       "price of extrapolation variance and spread-coverage bias",
   };
+  obs_snapshot(params, sim);
   return report;
 }
 
@@ -1581,6 +1639,7 @@ FigureReport ablation_samplers(const FigureSpec&,
       "plain walk's stationary law is proportional to degree and never "
       "uniformizes (the bias [15] fixes)",
   };
+  obs_snapshot(params, sim);
   return report;
 }
 
@@ -1598,13 +1657,13 @@ FigureReport ablation_oscillating(const FigureSpec&,
   const scenario::Series sc_series = runner.run(
       sc,
       {.estimations = params.estimations, .network = net,
-       .topology = topology},
+       .topology = topology, .telemetry = params.telemetry},
       0);
   const est::AggregationEstimator agg({.rounds_per_epoch = params.agg_rounds});
   const scenario::Series agg_series = runner.run(
       agg,
       {.estimations = 0, .rounds_per_unit = 1.0, .network = net,
-       .topology = topology},
+       .topology = topology, .telemetry = params.telemetry},
       0);
 
   FigureReport report;
@@ -1732,6 +1791,7 @@ LossCell run_loss_cell(const net::Graph& graph, const FigureParams& params,
       record(e);
     }
   }
+  obs_snapshot(params, sim);
   return out;
 }
 

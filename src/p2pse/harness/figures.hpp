@@ -19,6 +19,10 @@
 
 #include "p2pse/harness/report.hpp"
 
+namespace p2pse::obs {
+class RunTelemetry;
+}  // namespace p2pse::obs
+
 namespace p2pse::harness {
 
 /// Scale / determinism knobs shared by all figures. Every bench binary maps
@@ -44,6 +48,12 @@ struct FigureParams {
   /// simulator. Empty = the flat topology; an explicit "topo:flat" also
   /// installs nothing and produces byte-identical reports.
   std::string topo{};
+  /// Optional telemetry sink (non-owning, may be null — the default). When
+  /// set, generators open trace spans (graph-build / simulate / merge),
+  /// feed the progress heartbeat, and snapshot every replica simulator's
+  /// counters into it. Never perturbs an RNG stream: the report is
+  /// byte-identical with or without a sink.
+  obs::RunTelemetry* telemetry = nullptr;
 };
 
 struct FigureSpec;

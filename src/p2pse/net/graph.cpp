@@ -30,6 +30,7 @@ std::uint64_t Graph::allocate_chunk(std::uint32_t cap) {
   const std::uint64_t recycled = free_heads_.head[cls];
   if (recycled != kNullChunk) {
     free_heads_.head[cls] = read_link(recycled);
+    ++counters_.chunk_recycles;
     return recycled;
   }
   const std::uint64_t offset = arena_.size();
@@ -80,12 +81,14 @@ NodeId Graph::add_node() {
   degree_.push_back(0);
   alive_pos_.push_back(static_cast<std::uint32_t>(alive_.size()));
   alive_.push_back(id);
+  ++counters_.joins;
   if (observer_) observer_->on_join(id);
   return id;
 }
 
 void Graph::remove_node(NodeId id) {
   if (!is_alive(id)) return;
+  ++counters_.leaves;
   // Alive-index contract: the dense alive list and the per-slot back
   // pointers must agree BEFORE the swap-remove below relies on them — and
   // an observer's on_leave must not have churned the graph re-entrantly.

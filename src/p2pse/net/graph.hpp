@@ -45,6 +45,16 @@ class MembershipObserver {
 
 class Graph {
  public:
+  /// Embedded telemetry counters (obs layer): plain u64 bumps on the churn
+  /// paths, per-instance. Copied with the graph — a copy carries the build
+  /// history of its prototype (deterministic either way, and a replica
+  /// cloned from a shared prototype reports the full cost of its overlay).
+  struct Counters {
+    std::uint64_t joins = 0;
+    std::uint64_t leaves = 0;
+    std::uint64_t chunk_recycles = 0;
+  };
+
   Graph() = default;
   /// Pre-creates `initial_nodes` alive nodes with no edges.
   explicit Graph(std::size_t initial_nodes);
@@ -57,13 +67,13 @@ class Graph {
       : arena_(other.arena_), extents_(other.extents_),
         degree_(other.degree_), alive_pos_(other.alive_pos_),
         alive_(other.alive_), free_heads_(other.free_heads_),
-        edges_(other.edges_) {}
+        edges_(other.edges_), counters_(other.counters_) {}
   Graph(Graph&& other) noexcept
       : arena_(std::move(other.arena_)), extents_(std::move(other.extents_)),
         degree_(std::move(other.degree_)),
         alive_pos_(std::move(other.alive_pos_)),
         alive_(std::move(other.alive_)), free_heads_(other.free_heads_),
-        edges_(other.edges_) {}
+        edges_(other.edges_), counters_(other.counters_) {}
   Graph& operator=(const Graph& other) {
     if (this != &other) {
       arena_ = other.arena_;
@@ -73,6 +83,7 @@ class Graph {
       alive_ = other.alive_;
       free_heads_ = other.free_heads_;
       edges_ = other.edges_;
+      counters_ = other.counters_;
       observer_ = nullptr;
     }
     return *this;
@@ -86,6 +97,7 @@ class Graph {
       alive_ = std::move(other.alive_);
       free_heads_ = other.free_heads_;
       edges_ = other.edges_;
+      counters_ = other.counters_;
       observer_ = nullptr;
     }
     return *this;
@@ -188,6 +200,9 @@ class Graph {
   }
   [[nodiscard]] std::size_t arena_free() const noexcept;
 
+  /// Lifetime telemetry counters (see obs::collect).
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
+
  private:
   /// Adjacency extent: a node's neighbor list is arena_[offset, offset+len),
   /// inside a chunk of `cap` slots. cap is 0 (no chunk) or a power of two
@@ -246,6 +261,7 @@ class Graph {
   std::vector<NodeId> alive_;
   FreeHeads free_heads_;
   std::size_t edges_ = 0;
+  Counters counters_;
   MembershipObserver* observer_ = nullptr;
 };
 

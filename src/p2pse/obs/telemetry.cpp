@@ -1,0 +1,30 @@
+#include "p2pse/obs/telemetry.hpp"
+
+#include <iostream>
+
+namespace p2pse::obs {
+
+void RunTelemetry::add_replica(const SimCounters& counters) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sim_ += counters;
+}
+
+SimCounters RunTelemetry::sim() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sim_;
+}
+
+void RunTelemetry::progress(std::string_view message) {
+  if (!progress_enabled_) return;
+  const auto now = std::chrono::steady_clock::now();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (progress_started_ &&
+      now - last_progress_ < std::chrono::seconds(1)) {
+    return;
+  }
+  progress_started_ = true;
+  last_progress_ = now;
+  std::cerr << "p2pse: " << message << '\n';
+}
+
+}  // namespace p2pse::obs

@@ -1,0 +1,60 @@
+#pragma once
+// RunTelemetry: the one object a CLI wires through a run when any telemetry
+// flag (--stats-json / --trace-json / --progress) is set. Harness code holds
+// a nullable pointer to it and stays silent when it is null — telemetry off
+// means zero side effects and byte-identical reports.
+//
+// Thread model: replica workers call add_replica / span / progress
+// concurrently. add_replica sums u64 counters under a mutex — addition is
+// commutative, so the merged `sim` totals are invariant under --threads.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "p2pse/obs/metrics.hpp"
+#include "p2pse/obs/trace_log.hpp"
+
+namespace p2pse::obs {
+
+class RunTelemetry {
+ public:
+  /// Merges one replica's counter snapshot into the run totals.
+  void add_replica(const SimCounters& counters);
+
+  /// The merged deterministic counters (replicas seen so far).
+  [[nodiscard]] SimCounters sim() const;
+
+  [[nodiscard]] TraceLog& trace() noexcept { return trace_; }
+  [[nodiscard]] const TraceLog& trace() const noexcept { return trace_; }
+
+  /// Opens a trace span (inert overhead is one branch when tracing and the
+  /// other sinks are all that is enabled — spans always record; callers
+  /// decide whether to write the file).
+  [[nodiscard]] Span span(std::string name, int tid = 0) {
+    return trace_.span(std::move(name), tid);
+  }
+
+  /// Enables the stderr heartbeat (--progress).
+  void enable_progress() noexcept { progress_enabled_ = true; }
+  [[nodiscard]] bool progress_enabled() const noexcept {
+    return progress_enabled_;
+  }
+
+  /// Emits "p2pse: <message>" to stderr, rate-limited to one line per
+  /// second of wall clock (first call always prints). No-op unless
+  /// enable_progress() was called.
+  void progress(std::string_view message);
+
+ private:
+  mutable std::mutex mutex_;
+  SimCounters sim_;
+  TraceLog trace_;
+  bool progress_enabled_ = false;
+  bool progress_started_ = false;
+  std::chrono::steady_clock::time_point last_progress_{};
+};
+
+}  // namespace p2pse::obs

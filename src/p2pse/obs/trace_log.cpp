@@ -1,0 +1,82 @@
+#include "p2pse/obs/trace_log.hpp"
+
+#include "p2pse/obs/stats_writer.hpp"
+
+namespace p2pse::obs {
+
+Span::Span(TraceLog* log, std::string name, int tid)
+    : log_(log), name_(std::move(name)), tid_(tid) {
+  if (log_ != nullptr) start_us_ = log_->now_us();
+}
+
+Span::Span(Span&& other) noexcept
+    : log_(other.log_), name_(std::move(other.name_)), tid_(other.tid_),
+      start_us_(other.start_us_) {
+  other.log_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    finish();
+    log_ = other.log_;
+    name_ = std::move(other.name_);
+    tid_ = other.tid_;
+    start_us_ = other.start_us_;
+    other.log_ = nullptr;
+  }
+  return *this;
+}
+
+Span::~Span() { finish(); }
+
+void Span::finish() {
+  if (log_ == nullptr) return;
+  const std::uint64_t end_us = log_->now_us();
+  log_->record(name_, tid_, start_us_,
+               end_us > start_us_ ? end_us - start_us_ : 0);
+  log_ = nullptr;
+}
+
+TraceLog::TraceLog() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceLog::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+void TraceLog::record(const std::string& name, int tid, std::uint64_t ts_us,
+                      std::uint64_t dur_us) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(Record{name, tid, ts_us, dur_us});
+}
+
+std::map<std::string, double> TraceLog::phase_totals() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, double> totals;
+  for (const Record& record : records_) {
+    totals[record.name] += static_cast<double>(record.dur_us) / 1e6;
+  }
+  return totals;
+}
+
+std::size_t TraceLog::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+void TraceLog::write(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Record& record : records_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(record.name)
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << record.tid
+        << ",\"ts\":" << record.ts_us << ",\"dur\":" << record.dur_us << '}';
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace p2pse::obs

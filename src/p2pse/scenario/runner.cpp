@@ -3,8 +3,30 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
+
+#include "p2pse/obs/telemetry.hpp"
 
 namespace p2pse::scenario {
+namespace {
+
+/// Opens a per-replica trace span (inert when telemetry is off); worker
+/// lane = replica index + 1 (lane 0 is the coordinating thread).
+obs::Span replica_span(obs::RunTelemetry* telemetry, const char* name,
+                       std::uint64_t replica) {
+  if (telemetry == nullptr) return obs::Span{};
+  return telemetry->span(name, static_cast<int>(replica) + 1);
+}
+
+void tick_progress(obs::RunTelemetry* telemetry, std::uint64_t replica,
+                   double t, std::size_t alive) {
+  if (telemetry == nullptr || !telemetry->progress_enabled()) return;
+  telemetry->progress("replica " + std::to_string(replica) +
+                      ": t=" + std::to_string(t) +
+                      " alive=" + std::to_string(alive));
+}
+
+}  // namespace
 
 ScenarioRunner::ScenarioRunner(ScenarioScript script, GraphFactory factory,
                                std::uint64_t seed)
@@ -41,27 +63,33 @@ Series ScenarioRunner::run(const est::Estimator& prototype,
                     support::RngStream& rng) {
           return instance->estimate_point(sim, initiator, rng);
         },
-        replica, options.network, options.topology);
+        replica, options.network, options.topology, options.telemetry);
   }
   return run_epochs(*instance, options.rounds_per_unit, replica,
-                    options.network, options.topology);
+                    options.network, options.topology, options.telemetry);
 }
 
 Series ScenarioRunner::run_point(std::size_t estimations,
                                  const PointEstimator& estimator,
                                  std::uint64_t replica,
                                  const sim::NetworkConfig& network,
-                                 const topo::TopologyConfig& topology) const {
+                                 const topo::TopologyConfig& topology,
+                                 obs::RunTelemetry* telemetry) const {
   if (estimations == 0) return {};
+  const obs::Span span = replica_span(telemetry, "simulate", replica);
   const support::RngStream root = support::RngStream(seed_).split("replica", replica);
   support::RngStream graph_rng = root.split("graph");
   support::RngStream churn_rng = root.split("churn");
   support::RngStream est_rng = root.split("estimator");
   support::RngStream pick_rng = root.split("initiator");
 
+  obs::Span build_span = replica_span(telemetry, "graph-build", replica);
   sim::Simulator sim(factory_(graph_rng), root.split("sim").seed());
   sim.set_network(network);
+  build_span = obs::Span{};
+  obs::Span embed_span = replica_span(telemetry, "topo-embed", replica);
   sim.set_topology(topology);  // no-op (and no draws) for a flat config
+  embed_span = obs::Span{};
   const std::unique_ptr<DynamicsCursor> cursor =
       dynamics_->bind(sim.graph(), churn_rng);
 
@@ -90,7 +118,9 @@ Series ScenarioRunner::run_point(std::size_t estimations,
     point.messages = e.messages;
     point.delay = e.delay;
     series.push_back(point);
+    tick_progress(telemetry, replica, t, sim.graph().size());
   }
+  if (telemetry != nullptr) telemetry->add_replica(obs::collect(sim));
   return series;
 }
 
@@ -98,7 +128,8 @@ Series ScenarioRunner::run_epochs(est::Estimator& estimator,
                                   double rounds_per_unit,
                                   std::uint64_t replica,
                                   const sim::NetworkConfig& network,
-                                  const topo::TopologyConfig& topology) const {
+                                  const topo::TopologyConfig& topology,
+                                  obs::RunTelemetry* telemetry) const {
   if (rounds_per_unit <= 0.0) {
     throw std::invalid_argument("ScenarioRunner: rounds_per_unit must be > 0");
   }
@@ -107,15 +138,20 @@ Series ScenarioRunner::run_epochs(est::Estimator& estimator,
     throw std::invalid_argument(std::string(estimator.name()) +
                                 ": rounds_per_epoch must be > 0");
   }
+  const obs::Span span = replica_span(telemetry, "simulate", replica);
   const support::RngStream root = support::RngStream(seed_).split("replica", replica);
   support::RngStream graph_rng = root.split("graph");
   support::RngStream churn_rng = root.split("churn");
   support::RngStream est_rng = root.split("estimator");
   support::RngStream pick_rng = root.split("initiator");
 
+  obs::Span build_span = replica_span(telemetry, "graph-build", replica);
   sim::Simulator sim(factory_(graph_rng), root.split("sim").seed());
   sim.set_network(network);
+  build_span = obs::Span{};
+  obs::Span embed_span = replica_span(telemetry, "topo-embed", replica);
   sim.set_topology(topology);  // no-op (and no draws) for a flat config
+  embed_span = obs::Span{};
   const std::unique_ptr<DynamicsCursor> cursor =
       dynamics_->bind(sim.graph(), churn_rng);
 
@@ -158,8 +194,10 @@ Series ScenarioRunner::run_epochs(est::Estimator& estimator,
       point.messages = sim.meter().since(baseline_msgs);
       point.delay = e.delay;
       series.push_back(point);
+      tick_progress(telemetry, replica, t, sim.graph().size());
     }
   }
+  if (telemetry != nullptr) telemetry->add_replica(obs::collect(sim));
   return series;
 }
 

@@ -35,6 +35,10 @@
 #include "p2pse/support/rng.hpp"
 #include "p2pse/topo/topology.hpp"
 
+namespace p2pse::obs {
+class RunTelemetry;
+}  // namespace p2pse::obs
+
 namespace p2pse::scenario {
 
 /// One sample of an estimation series.
@@ -77,6 +81,12 @@ class ScenarioRunner {
     /// replica's embedding draws from its own sim's split("topo")
     /// substream, so churn-joined nodes embed deterministically.
     topo::TopologyConfig topology{};
+    /// Optional telemetry sink (non-owning, may be null). When set, each
+    /// replica run opens a "simulate" trace span, feeds the progress
+    /// heartbeat, and snapshots its counters (obs::collect) on completion.
+    /// Telemetry NEVER touches an RNG stream: a run with a sink is
+    /// byte-identical to one without.
+    obs::RunTelemetry* telemetry = nullptr;
   };
 
   /// `seed` is the root seed; replica r derives graph/estimator/churn
@@ -101,7 +111,8 @@ class ScenarioRunner {
       std::size_t estimations, const PointEstimator& estimator,
       std::uint64_t replica = 0,
       const sim::NetworkConfig& network = sim::NetworkConfig{},
-      const topo::TopologyConfig& topology = topo::TopologyConfig{}) const;
+      const topo::TopologyConfig& topology = topo::TopologyConfig{},
+      obs::RunTelemetry* telemetry = nullptr) const;
 
   [[nodiscard]] const Dynamics& dynamics() const noexcept {
     return *dynamics_;
@@ -112,7 +123,8 @@ class ScenarioRunner {
                                   double rounds_per_unit,
                                   std::uint64_t replica,
                                   const sim::NetworkConfig& network,
-                                  const topo::TopologyConfig& topology) const;
+                                  const topo::TopologyConfig& topology,
+                                  obs::RunTelemetry* telemetry) const;
   [[nodiscard]] net::NodeId ensure_initiator(const net::Graph& graph,
                                              net::NodeId current,
                                              support::RngStream& rng) const;

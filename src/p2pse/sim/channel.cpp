@@ -174,9 +174,11 @@ void Channel::require_iid(const char* method) const {
 Channel::Delivery Channel::send(MessageMeter& meter, MessageClass cls) {
   require_iid("send");
   meter.count(cls);
+  ++counters_.sends_iid;
   if (ideal_) return Delivery{};
   Delivery out;
   if (rng_.bernoulli(config_.loss)) {
+    ++counters_.drops;
     out.delivered = false;
     return out;
   }
@@ -188,6 +190,7 @@ Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls) {
   require_iid("send_arq");
   if (ideal_) {
     meter.count(cls);
+    ++counters_.sends_iid;
     return Delivery{};
   }
   Delivery out;
@@ -195,12 +198,16 @@ Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls) {
   for (std::uint32_t attempt = 0; attempt <= config_.retries; ++attempt) {
     meter.count(cls);
     ++out.transmissions;
+    ++counters_.sends_iid;
+    if (attempt > 0) ++counters_.retransmits;
     if (!rng_.bernoulli(config_.loss)) {
       out.latency += draw_latency();
       return out;
     }
+    ++counters_.drops;
     out.latency += config_.timeout;  // sender waits before retransmitting
   }
+  ++counters_.arq_timeouts;
   out.delivered = false;
   return out;
 }
@@ -210,6 +217,7 @@ Channel::Delivery Channel::send_reliable(MessageMeter& meter,
   require_iid("send_reliable");
   if (ideal_) {
     meter.count(cls);
+    ++counters_.sends_iid;
     return Delivery{};
   }
   Delivery out;
@@ -217,7 +225,10 @@ Channel::Delivery Channel::send_reliable(MessageMeter& meter,
   while (out.transmissions < kReliableCap) {
     meter.count(cls);
     ++out.transmissions;
+    ++counters_.sends_iid;
+    if (out.transmissions > 1) ++counters_.retransmits;
     if (!rng_.bernoulli(config_.loss)) break;
+    ++counters_.drops;
     out.latency += config_.timeout;
   }
   out.latency += draw_latency();
@@ -273,10 +284,12 @@ Channel::Delivery Channel::send(MessageMeter& meter, MessageClass cls,
   if (topo_ == nullptr) return send(meter, cls);
   check_endpoints(from, to);
   meter.count(cls);
+  ++counters_.sends_link;
   const topo::Topology::LinkParams link = topo_->link(from, to);
   const double loss = compose_loss(config_.loss, link.loss);
   Delivery out;
   if (rng_.bernoulli(loss)) {
+    ++counters_.drops;
     out.delivered = false;
     return out;
   }
@@ -295,12 +308,16 @@ Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls,
   for (std::uint32_t attempt = 0; attempt <= config_.retries; ++attempt) {
     meter.count(cls);
     ++out.transmissions;
+    ++counters_.sends_link;
+    if (attempt > 0) ++counters_.retransmits;
     if (!rng_.bernoulli(loss)) {
       out.latency += draw_link_latency(link);
       return out;
     }
+    ++counters_.drops;
     out.latency += config_.timeout;
   }
+  ++counters_.arq_timeouts;
   out.delivered = false;
   return out;
 }
@@ -316,7 +333,10 @@ Channel::Delivery Channel::send_reliable(MessageMeter& meter, MessageClass cls,
   while (out.transmissions < kReliableCap) {
     meter.count(cls);
     ++out.transmissions;
+    ++counters_.sends_link;
+    if (out.transmissions > 1) ++counters_.retransmits;
     if (!rng_.bernoulli(loss)) break;
+    ++counters_.drops;
     out.latency += config_.timeout;
   }
   out.latency += draw_link_latency(link);

@@ -89,6 +89,18 @@ class Channel {
     std::uint32_t transmissions = 1;
   };
 
+  /// Embedded telemetry counters (obs layer): plain u64 bumps on the send
+  /// paths, per-instance (no shared state across replica channels). Note
+  /// Simulator::set_network replaces the channel — and these counters —
+  /// so snapshot only after all traffic (obs::collect does).
+  struct Counters {
+    std::uint64_t sends_iid = 0;    ///< transmissions priced i.i.d.
+    std::uint64_t sends_link = 0;   ///< transmissions priced per-link
+    std::uint64_t drops = 0;        ///< transmissions lost to a loss draw
+    std::uint64_t retransmits = 0;  ///< transmissions beyond each first
+    std::uint64_t arq_timeouts = 0; ///< bounded-ARQ sends that gave up
+  };
+
   /// The ideal channel: delivers everything at zero latency, draws nothing.
   Channel() noexcept = default;
 
@@ -111,6 +123,9 @@ class Channel {
   [[nodiscard]] const topo::Topology* topology() const noexcept {
     return topo_;
   }
+
+  /// Lifetime telemetry counters (see obs::collect).
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
   /// True when some transmission can be dropped — by the i.i.d. loss knob
   /// or by any per-link class/region loss. The poll protocols use this to
@@ -154,6 +169,7 @@ class Channel {
   support::RngStream rng_{0};
   bool ideal_ = true;
   topo::Topology* topo_ = nullptr;
+  Counters counters_{};
 };
 
 }  // namespace p2pse::sim

@@ -51,6 +51,7 @@ Time EventQueue::run_next() {
   // reference into the containers can be held across the call.
   Event event = std::move(slots_[top.slot]);
   free_slots_.push_back(top.slot);
+  ++counters_.fired;
   event();
   return top.when;
 }

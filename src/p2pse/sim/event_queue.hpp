@@ -230,6 +230,16 @@ class EventQueue {
   /// to fall back to a classic binary heap — the sift code is generic.
   static constexpr std::size_t kArity = 4;
 
+  /// Embedded telemetry counters (obs layer): plain u64 bumps on the
+  /// schedule/fire paths — no locks, no branches, per-instance so replica
+  /// queues never share a cache line. Monotone across clear().
+  struct Counters {
+    std::uint64_t scheduled = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t spilled_pool = 0;
+    std::uint64_t spilled_heap = 0;
+  };
+
   EventQueue() = default;
   EventQueue(EventQueue&&) noexcept = default;
   EventQueue& operator=(EventQueue&&) noexcept = default;
@@ -247,9 +257,18 @@ class EventQueue {
 #endif
     using Fn = std::decay_t<F>;
     const std::uint32_t slot = acquire_slot();
+    ++counters_.scheduled;
     if constexpr (Event::fits_inline<Fn>()) {
       slots_[slot].emplace_inline(std::forward<F>(fn));
     } else {
+      // Mirrors emplace_spilled's pool-vs-heap predicate.
+      constexpr bool kPooled = sizeof(Fn) <= EventPool::kBlockSize &&
+                               alignof(Fn) <= alignof(std::max_align_t);
+      if constexpr (kPooled) {
+        ++counters_.spilled_pool;
+      } else {
+        ++counters_.spilled_heap;
+      }
       slots_[slot].emplace_spilled(std::forward<F>(fn), pool());
     }
     heap_.push_back(HeapEntry{when, next_seq_++, slot});
@@ -285,6 +304,9 @@ class EventQueue {
   [[nodiscard]] std::size_t pool_in_use() const noexcept {
     return pool_ ? pool_->in_use() : 0;
   }
+
+  /// Lifetime telemetry counters (survive clear(); see obs::collect).
+  [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
  private:
   /// 24-byte POD heap entry; the callback stays put in slots_ while these
@@ -332,6 +354,7 @@ class EventQueue {
   std::vector<Event> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
+  Counters counters_;
 #if P2PSE_CHECK_ENABLED
   /// Simulated-time monotonicity contract: no event may be scheduled
   /// before, or fire before, the most recently fired event's time.

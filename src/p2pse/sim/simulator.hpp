@@ -59,6 +59,7 @@ class Simulator {
   [[nodiscard]] const net::Graph& graph() const noexcept { return graph_; }
 
   [[nodiscard]] EventQueue& events() noexcept { return events_; }
+  [[nodiscard]] const EventQueue& events() const noexcept { return events_; }
   [[nodiscard]] MessageMeter& meter() noexcept { return meter_; }
   [[nodiscard]] const MessageMeter& meter() const noexcept { return meter_; }
   [[nodiscard]] support::RngStream& rng() noexcept { return rng_; }

@@ -103,6 +103,42 @@ TEST(SizeMonitor, AlarmsCanBeDisabled) {
   EXPECT_FALSE(sample->alarm);
 }
 
+TEST(SizeMonitor, PublishesEstimateGaugeAndCountersToMetrics) {
+  sim::Simulator sim = hetero_sim(2000, 17);
+  support::RngStream rng(18);
+  SizeMonitor monitor({.smoothing_window = 1, .alarm_threshold = 0.0},
+                      sample_collide_fn(20));
+  obs::Metrics metrics;
+  monitor.set_metrics(&metrics);
+  EXPECT_FALSE(metrics.has_gauge("monitor.estimate"));
+  const auto sample = monitor.poll(sim, rng);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_TRUE(metrics.has_gauge("monitor.estimate"));
+  EXPECT_DOUBLE_EQ(metrics.gauge("monitor.estimate"), monitor.current());
+  ASSERT_TRUE(monitor.poll(sim, rng).has_value());
+  EXPECT_DOUBLE_EQ(metrics.gauge("monitor.estimate"), monitor.current());
+  EXPECT_EQ(metrics.counter("monitor.polls"), monitor.polls());
+  EXPECT_EQ(metrics.counter("monitor.failures"), 0u);
+  EXPECT_EQ(metrics.counter("monitor.alarms"), 0u);
+  // Detaching stops publication without touching the monitor itself.
+  monitor.set_metrics(nullptr);
+  ASSERT_TRUE(monitor.poll(sim, rng).has_value());
+  EXPECT_EQ(metrics.counter("monitor.polls"), 2u);
+  EXPECT_EQ(monitor.polls(), 3u);
+}
+
+TEST(SizeMonitor, CountsFailuresInMetrics) {
+  sim::Simulator sim(net::Graph(0), 19);
+  support::RngStream rng(20);
+  SizeMonitor monitor({}, sample_collide_fn(10));
+  obs::Metrics metrics;
+  monitor.set_metrics(&metrics);
+  EXPECT_FALSE(monitor.poll(sim, rng).has_value());
+  EXPECT_EQ(metrics.counter("monitor.polls"), 1u);
+  EXPECT_EQ(metrics.counter("monitor.failures"), 1u);
+  EXPECT_FALSE(metrics.has_gauge("monitor.estimate"));
+}
+
 TEST(SizeMonitor, HistoryIsBounded) {
   sim::Simulator sim = hetero_sim(500, 15);
   support::RngStream rng(16);

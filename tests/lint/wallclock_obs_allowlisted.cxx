@@ -1,0 +1,23 @@
+// lint-fixture: treat-as src/p2pse/obs/trace_log.cpp
+// Fixture: the obs/ telemetry layer is the one place in src/ where monotonic
+// wall-clock reads are the point (span timing, progress heartbeats) — the
+// allowlist must silence wallclock there (but NOT the entropy rule:
+// system_clock stays banned even in obs/).
+// Never compiled — consumed by `determinism_lint.py --selftest`.
+#include <chrono>
+
+namespace fixture {
+
+long long span_timestamp_us() {
+  const auto now = std::chrono::steady_clock::now();  // allowlisted path
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+long long still_banned_calendar_time() {
+  const auto wall = std::chrono::system_clock::now();  // expect-lint: entropy
+  return wall.time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// lint-fixture: treat-as src/p2pse/sim/scheduler.cpp
+// Fixture: monotonic wall-clock reads in sim/estimator code must be flagged
+// even though steady_clock is deterministically ordered — any host-time
+// influence on the run would break the byte-identical-at-any---threads
+// report contract. (system_clock is covered separately by `entropy`.)
+// Never compiled — consumed by `determinism_lint.py --selftest`.
+#include <chrono>
+
+namespace fixture {
+
+double bad_host_timing() {
+  const auto start = std::chrono::steady_clock::now();    // expect-lint: wallclock
+  const auto fine = std::chrono::high_resolution_clock::now();  // expect-lint: wallclock
+  using clock = std::chrono::steady_clock;                // expect-lint: wallclock
+  return std::chrono::duration<double>(fine - start).count() +
+         std::chrono::duration<double>(clock::now() - start).count();
+}
+
+// Names that merely CONTAIN the tokens are fine.
+struct SteadyClockModel {
+  double steady_clock_rate = 1.0;  // identifier, not the chrono type
+  double tick() const { return steady_clock_rate; }
+};
+
+double good_simulated_time(const SteadyClockModel& model) {
+  return model.tick();
+}
+
+}  // namespace fixture

@@ -1,0 +1,83 @@
+// The versioned `sim` stats section is a determinism contract: a pure
+// function of (figure, parameters, seed), byte-identical at any --threads
+// value. This suite pins fig01's section at reduced scale to a golden
+// literal and checks the thread-invariance directly, plus the overarching
+// guarantee that attaching telemetry never perturbs the stdout report.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "p2pse/harness/figures.hpp"
+#include "p2pse/obs/stats_writer.hpp"
+#include "p2pse/obs/telemetry.hpp"
+
+namespace p2pse::harness {
+namespace {
+
+FigureParams reduced_fig01_params() {
+  FigureParams p = find_figure("fig01")->defaults;
+  p.nodes = 1200;
+  p.estimations = 6;
+  p.replicas = 2;
+  p.seed = 42;
+  p.threads = 2;
+  return p;
+}
+
+std::string sim_json(const FigureParams& base, std::size_t threads) {
+  FigureParams p = base;
+  p.threads = threads;
+  obs::RunTelemetry telemetry;
+  p.telemetry = &telemetry;
+  const FigureReport report = run_figure("fig01", p);
+  return obs::sim_section(report.id, report.params, telemetry.sim());
+}
+
+// ./fig01_sc_static_100k --nodes 1200 --estimations 6 --replicas 2 --seed 42
+//                        --threads 2 --stats-json ...   (the `sim` object)
+const char kGoldenFig01Sim[] =
+    "{\"figure\":\"fig_sc_static\","
+    "\"params\":\"nodes=1200 l=200 T=10 estimations=6 replicas=2 seed=42\","
+    "\"replicas\":2,"
+    "\"events\":{\"scheduled\":0,\"fired\":0,\"spilled_pool\":0,"
+    "\"spilled_heap\":0},"
+    "\"channel\":{\"sends_iid\":683320,\"sends_link\":0,\"drops\":0,"
+    "\"retransmits\":0,\"arq_timeouts\":0},"
+    "\"graph\":{\"joins\":2400,\"leaves\":0,\"chunk_recycles\":463},"
+    "\"messages\":{\"walk_step\":674129,\"sample_reply\":9191,"
+    "\"gossip_spread\":0,\"poll_reply\":0,\"aggregation_push\":0,"
+    "\"aggregation_pull\":0,\"control\":0,\"total\":683320}}";
+
+TEST(RunStats, Fig01SimSectionMatchesGoldenByteForByte) {
+  EXPECT_EQ(sim_json(reduced_fig01_params(), 2), kGoldenFig01Sim);
+}
+
+TEST(RunStats, SimSectionIsByteIdenticalAcrossThreadCounts) {
+  const FigureParams base = reduced_fig01_params();
+  const std::string one = sim_json(base, 1);
+  EXPECT_EQ(one, sim_json(base, 2));
+  EXPECT_EQ(one, sim_json(base, 8));
+  EXPECT_EQ(one, kGoldenFig01Sim);
+}
+
+TEST(RunStats, AttachedTelemetryLeavesTheReportByteIdentical) {
+  FigureParams plain = reduced_fig01_params();
+  const FigureReport without = run_figure("fig01", plain);
+
+  FigureParams instrumented = reduced_fig01_params();
+  obs::RunTelemetry telemetry;
+  instrumented.telemetry = &telemetry;
+  const FigureReport with = run_figure("fig01", instrumented);
+
+  std::ostringstream a;
+  std::ostringstream b;
+  print_report(a, without);
+  print_report(b, with);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(telemetry.sim().replicas, 2u);
+  EXPECT_GT(telemetry.trace().size(), 0u);  // spans were recorded
+}
+
+}  // namespace
+}  // namespace p2pse::harness

@@ -23,6 +23,11 @@ unordered-iter   Range-for over a std::unordered_map/std::unordered_set in a
                  file that writes reports/CSV. Bucket order is
                  implementation-defined and salted by allocation history;
                  iterate a sorted copy or an order-preserving index instead.
+wallclock        std::chrono::steady_clock / high_resolution_clock outside
+                 src/p2pse/obs/ (or bench/). Host timing belongs to the
+                 observability layer's `host` stats section; everything the
+                 deterministic `sim` section is built from must measure with
+                 sim::Time only, or thread count would leak into reports.
 dup-split        Two index-less rng.split("tag") calls with the same tag
                  literal in one function scope: both call sites derive the
                  SAME stream, silently correlating what the author believes
@@ -56,6 +61,7 @@ RULES = {
     "entropy": "banned nondeterministic entropy/wall-clock source",
     "raw-engine": "raw stdlib RNG engine/distribution outside support/rng",
     "unordered-iter": "unordered-container iteration in a report-writing file",
+    "wallclock": "monotonic wall-clock read outside the obs/ telemetry layer",
     "dup-split": "duplicate index-less rng.split(tag) in one scope",
     "bad-suppression": "malformed p2pse-lint suppression",
     "stale-suppression": "suppression whose rule no longer fires",
@@ -64,6 +70,11 @@ RULES = {
 # Paths (substring match on /-normalized relative path) where raw engine
 # machinery is the implementation, not a violation.
 RAW_ENGINE_ALLOWLIST = ("support/rng.",)
+
+# Paths where monotonic wall-clock reads are the point: the obs/ telemetry
+# layer (host timing, never sim state) and the bench drivers (Google
+# Benchmark owns its own timing).
+WALLCLOCK_ALLOWLIST = ("p2pse/obs/", "bench/")
 
 SOURCE_EXTENSIONS = (".cpp", ".hpp", ".cc", ".h", ".cxx")
 
@@ -79,6 +90,8 @@ ENTROPY_PATTERNS = [
     (re.compile(r"\bstd::random_shuffle\b"), "std::random_shuffle"),
     (re.compile(r"\bgettimeofday\b"), "gettimeofday()"),
 ]
+
+WALLCLOCK_PATTERN = re.compile(r"\b(?:steady_clock|high_resolution_clock)\b")
 
 RAW_ENGINE_PATTERN = re.compile(
     r"\bstd::("
@@ -223,8 +236,10 @@ def scope_ids(lines: list[str]) -> list[int]:
 def lint_file(file: FileLint) -> list[Finding]:
     findings: list[Finding] = []
     suppressions = parse_suppressions(file.lines, findings, file.real_path)
-    raw_allowed = any(tag in file.path.replace(os.sep, "/")
-                      for tag in RAW_ENGINE_ALLOWLIST)
+    normalized_path = file.path.replace(os.sep, "/")
+    raw_allowed = any(tag in normalized_path for tag in RAW_ENGINE_ALLOWLIST)
+    wallclock_allowed = any(tag in normalized_path
+                            for tag in WALLCLOCK_ALLOWLIST)
     writes_reports = any(REPORT_WRITER_PATTERN.search(line)
                          for line in file.lines)
 
@@ -246,6 +261,14 @@ def lint_file(file: FileLint) -> list[Finding]:
                     file.real_path, idx, "entropy",
                     f"{what}: draw from a support::RngStream substream "
                     "(simulated time, not wall-clock)"))
+
+        if not wallclock_allowed and WALLCLOCK_PATTERN.search(code):
+            token = WALLCLOCK_PATTERN.search(code).group(0)
+            raw.append(Finding(
+                file.real_path, idx, "wallclock",
+                f"{token} outside p2pse/obs/: host wall-clock must stay in "
+                "the telemetry layer's `host` section — sim code measures "
+                "with sim::Time"))
 
         if not raw_allowed and RAW_ENGINE_PATTERN.search(code):
             token = RAW_ENGINE_PATTERN.search(code).group(0)
