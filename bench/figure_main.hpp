@@ -26,8 +26,9 @@ namespace p2pse::harness {
 
 inline constexpr std::string_view kFigureFlags[] = {
     "nodes",      "seed",   "estimations", "replicas", "l",
-    "T",          "agg-rounds", "last-k",  "threads",  "csv",
-    "net",        "topo",   "stats-json",  "trace-json", "progress",
+    "T",          "agg-rounds", "last-k",  "threads",  "sim-threads",
+    "csv",        "net",    "topo",        "stats-json", "trace-json",
+    "progress",
 };
 
 /// Maps the shared CLI flags onto `params`. Shared by figure_main and the
@@ -46,6 +47,7 @@ inline FigureParams figure_params_from_args(const support::Args& args,
       args.get_uint("agg-rounds", params.agg_rounds));
   params.last_k = args.get_uint("last-k", params.last_k);
   params.threads = args.get_uint("threads", params.threads);
+  params.sim_threads = args.get_uint("sim-threads", params.sim_threads);
   params.net = args.get_string("net", params.net);
   params.topo = args.get_string("topo", params.topo);
   return params;
@@ -165,6 +167,13 @@ inline int figure_main(int argc, char** argv, std::string_view figure_id) {
           "  --threads N       replica fan-out width, 0 = all hardware "
           "threads (default %zu);\n"
           "                    the report is byte-identical at any value\n"
+          "  --sim-threads N   intra-replica workers (sharded topology "
+          "embedding); 1 =\n"
+          "                    sequential, 0 = auto (hardware / replica "
+          "workers); composes\n"
+          "                    with --threads without oversubscribing; "
+          "byte-identical at\n"
+          "                    any value\n"
           "  --csv PATH        also write the per-replica "
           "(time,truth,estimate,messages,valid)\n"
           "                    series as plain CSV to PATH\n"

@@ -23,7 +23,9 @@
 #include "p2pse/net/builders.hpp"
 #include "p2pse/net/churn.hpp"
 #include "p2pse/net/cyclon.hpp"
+#include "p2pse/net/parallel_build.hpp"
 #include "p2pse/sim/simulator.hpp"
+#include "p2pse/support/sharding.hpp"
 #include "p2pse/topo/topology.hpp"
 #include "p2pse/trace/cursor.hpp"
 #include "p2pse/trace/generators.hpp"
@@ -311,6 +313,33 @@ void BM_GraphNeighborScan(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * g.edge_count()));
 }
 BENCHMARK(BM_GraphNeighborScan)->Arg(1000000);
+
+void BM_ParallelGraphBuild(benchmark::State& state) {
+  // The intra-replica sharded pipeline end to end: 1M-node sharded
+  // construction + clustered topology embedding at a given --sim-threads
+  // budget (range(1)). Bytes are identical at every budget by design; the
+  // /1-vs-/8 wall-clock ratio is the CI speedup gate.
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<std::size_t>(state.range(1));
+  const topo::TopologyConfig config =
+      topo::TopologyConfig::parse("topo:clustered");
+  const support::ShardExecutor exec(workers);
+  for (auto _ : state) {
+    const support::RngStream rng(42);
+    net::Graph g =
+        net::build_heterogeneous_sharded({nodes, 1, 10}, rng, &exec);
+    topo::Topology topology(config, rng.split("topo"));
+    topology.attach(g, &exec);
+    benchmark::DoNotOptimize(g.edge_count());
+    benchmark::DoNotOptimize(topology.node(0).x);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ParallelGraphBuild)
+    ->Args({1000000, 1})
+    ->Args({1000000, 8})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RngBatchedUniform(benchmark::State& state) {
   // Batched uniform fill (4096 doubles per call) — same stream consumption

@@ -76,6 +76,15 @@ int main(int argc, char** argv) {
           "  --replicas R         independent replicas (default 3)\n"
           "  --seed S             root seed (default 42)\n"
           "  --threads N          fan-out width, 0 = hardware threads\n"
+          "  --sim-threads N      intra-replica workers (sharded topology "
+          "embedding);\n"
+          "                       1 = sequential, 0 = auto; byte-identical "
+          "at any value\n"
+          "  --sharded-build      wire replicas with the thread-count-"
+          "invariant sharded\n"
+          "                       builder (deterministic, but NOT byte-"
+          "compatible with the\n"
+          "                       default sequential builder)\n"
           "  --l/--T/--agg-rounds/--last-k  paper-parameter shorthands\n"
           "  --csv PATH           write per-replica "
           "(time,truth,estimate,messages,valid) CSV\n"
@@ -103,8 +112,9 @@ int main(int argc, char** argv) {
         "estimator", "scenario", "rounds-per-unit", "list",
         "nodes",     "seed",     "estimations",     "replicas",
         "l",         "T",        "agg-rounds",      "last-k",
-        "threads",   "csv",      "net",             "topo",
-        "stats-json", "trace-json", "progress",
+        "threads",   "sim-threads", "sharded-build", "csv",
+        "net",       "topo",     "stats-json",      "trace-json",
+        "progress",
     };
     args.require_known(std::span<const std::string_view>(kFlags));
     const auto csv_path = harness::csv_path_from_args(args);
@@ -119,6 +129,7 @@ int main(int argc, char** argv) {
     options.estimator = args.get_string("estimator", "sample_collide");
     options.scenario = args.get_string("scenario", "static");
     options.rounds_per_unit = args.get_double("rounds-per-unit", 10.0);
+    options.sharded_build = args.get_bool("sharded-build", false);
     harness::FigureParams defaults;
     defaults.nodes = 10000;
     options.params = harness::figure_params_from_args(args, defaults);

@@ -81,6 +81,11 @@ void print_usage(const char* program) {
       "  --replicas R         replay: independent replicas (default 3)\n"
       "  --seed S             replay: root seed (default 42)\n"
       "  --threads N          replay: fan-out width, 0 = hardware threads\n"
+      "  --sim-threads N      replay: intra-replica workers (sharded "
+      "topology\n"
+      "                       embedding); 1 = sequential, 0 = auto; "
+      "byte-identical\n"
+      "                       at any value\n"
       "  --csv PATH           replay: write per-replica series CSV\n"
       "  --net SPEC           replay: delivery layer "
       "(net:loss=...,latency=...,...)\n"
@@ -216,9 +221,10 @@ int main(int argc, char** argv) {
     static constexpr std::string_view kFlags[] = {
         "nodes",       "out",      "estimator", "estimations",
         "rounds-per-unit", "replicas", "seed",  "threads",
-        "csv",         "list",     "workload",  "l",
-        "T",           "agg-rounds", "last-k",  "net",
-        "topo",        "stats-json", "trace-json", "progress",
+        "sim-threads", "csv",      "list",      "workload",
+        "l",           "T",        "agg-rounds", "last-k",
+        "net",         "topo",     "stats-json", "trace-json",
+        "progress",
     };
     args.require_known(std::span<const std::string_view>(kFlags));
     if (args.get_bool("list", false)) {

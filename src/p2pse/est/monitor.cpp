@@ -30,6 +30,10 @@ std::optional<MonitorSample> SizeMonitor::poll(sim::Simulator& sim,
   if (!raw.valid) {
     ++failures_;
     if (metrics_) metrics_->add("monitor.failures");
+    // Header contract: re-election after failures, not just deaths. Drop
+    // the initiator so the next poll elects a fresh one — an alive node
+    // whose component was cut off would otherwise be retried forever.
+    initiator_ = net::kInvalidNode;
     return std::nullopt;
   }
   MonitorSample sample;
@@ -47,11 +51,16 @@ std::optional<MonitorSample> SizeMonitor::poll(sim::Simulator& sim,
   }
   if (metrics_) metrics_->set_gauge("monitor.estimate", current_);
   history_.push_back(sample);
-  if (history_.size() > config_.history_limit) {
+  // Trim by advancing the window start; physically erase the dead prefix
+  // only once it is as large as the window itself (amortized O(1)/push).
+  while (history_.size() - history_begin_ > config_.history_limit) {
+    ++history_begin_;
+  }
+  if (history_begin_ > 0 && history_begin_ >= config_.history_limit) {
     history_.erase(history_.begin(),
-                   history_.begin() + static_cast<std::ptrdiff_t>(
-                                          history_.size() -
-                                          config_.history_limit));
+                   history_.begin() +
+                       static_cast<std::ptrdiff_t>(history_begin_));
+    history_begin_ = 0;
   }
   return sample;
 }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "p2pse/est/estimate.hpp"
@@ -41,16 +42,21 @@ class SizeMonitor {
 
   SizeMonitor(SizeMonitorConfig config, EstimatorFn estimator);
 
-  /// Runs one estimation: re-elects the initiator if the current one died,
-  /// feeds the smoother, evaluates the alarm. Returns nullopt when the
-  /// overlay is empty or the estimator failed.
+  /// Runs one estimation: re-elects the initiator if the current one died
+  /// OR if the previous poll's estimation failed (an alive-but-isolated
+  /// initiator must not be retried forever), feeds the smoother, evaluates
+  /// the alarm. Returns nullopt when the overlay is empty or the estimator
+  /// failed.
   std::optional<MonitorSample> poll(sim::Simulator& sim,
                                     support::RngStream& rng);
 
   /// Most recent smoothed estimate (0 before the first successful poll).
   [[nodiscard]] double current() const noexcept { return current_; }
-  [[nodiscard]] const std::vector<MonitorSample>& history() const noexcept {
-    return history_;
+  /// The retained samples, oldest first (at most history_limit; a view into
+  /// internal storage, invalidated by the next poll).
+  [[nodiscard]] std::span<const MonitorSample> history() const noexcept {
+    return {history_.data() + history_begin_,
+            history_.size() - history_begin_};
   }
   [[nodiscard]] net::NodeId initiator() const noexcept { return initiator_; }
   [[nodiscard]] std::uint64_t polls() const noexcept { return polls_; }
@@ -66,7 +72,12 @@ class SizeMonitor {
   SizeMonitorConfig config_;
   EstimatorFn estimator_;
   LastKAverage smoother_;
+  /// Retained samples are history_[history_begin_..): trimming advances the
+  /// offset (O(1)) and compacts the dead prefix in blocks, so a
+  /// long-running monitor pays amortized O(1) per push instead of an O(n)
+  /// erase-from-front each time the limit is hit.
   std::vector<MonitorSample> history_;
+  std::size_t history_begin_ = 0;
   net::NodeId initiator_ = net::kInvalidNode;
   double current_ = 0.0;
   std::uint64_t polls_ = 0;

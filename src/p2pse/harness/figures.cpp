@@ -22,12 +22,14 @@
 #include "p2pse/net/analysis.hpp"
 #include "p2pse/net/builders.hpp"
 #include "p2pse/net/cyclon.hpp"
+#include "p2pse/net/parallel_build.hpp"
 #include "p2pse/net/random_walk.hpp"
 #include "p2pse/obs/telemetry.hpp"
 #include "p2pse/scenario/runner.hpp"
 #include "p2pse/scenario/scenarios.hpp"
 #include "p2pse/sim/simulator.hpp"
 #include "p2pse/support/csv.hpp"
+#include "p2pse/support/sharding.hpp"
 #include "p2pse/support/stats.hpp"
 #include "p2pse/topo/topology.hpp"
 
@@ -132,6 +134,28 @@ obs::Span obs_span(const FigureParams& params, const char* name,
   return params.telemetry->span(name, tid);
 }
 
+/// This figure's intra-replica worker budget: --sim-threads resolved
+/// against the replica pool's width so replicas x shards never
+/// oversubscribes the machine.
+std::size_t figure_sim_budget(const FigureParams& params,
+                              const ParallelReplicaRunner& pool) {
+  return support::sim_worker_budget(pool.thread_count(), params.sim_threads);
+}
+
+/// Arms the executor's per-shard scope hook: shard bodies run inside
+/// "sim-shard-<s>" trace spans on the replica's viewer lane (inert without
+/// a sink; never touches an RNG stream).
+void arm_shard_spans(support::ShardExecutor& exec, const FigureParams& params,
+                     int lane) {
+  if (params.telemetry == nullptr || exec.workers() <= 1) return;
+  obs::RunTelemetry* const telemetry = params.telemetry;
+  exec.set_scope_hook(
+      [telemetry, lane](std::size_t shard) -> std::shared_ptr<void> {
+        return std::make_shared<obs::Span>(
+            telemetry->span("sim-shard-" + std::to_string(shard), lane));
+      });
+}
+
 /// Generators whose machinery does not route traffic through a
 /// configurable channel call this first: a non-ideal --net must be a hard
 /// error, never a silent ideal-channel run (the same no-silent-fallback
@@ -197,14 +221,22 @@ struct StaticSeriesResult {
 
 /// Fans the static-figure replicas out across the runner. Replica `rep`
 /// builds its own overlay and estimator streams from split(tag, rep), so
-/// replica 0 reproduces the single-replica series exactly and results do not
-/// depend on the thread count. `body(rep)` must be a pure function of `rep`.
+/// replica 0 reproduces the single-replica series exactly and results do
+/// not depend on the thread count. `body(rep, exec)` must be a pure
+/// function of `rep`: the executor only accelerates shardable stages
+/// (topology embedding), which are byte-identical at any budget.
 std::vector<StaticSeriesResult> run_static_replicas(
     const FigureParams& params,
-    const std::function<StaticSeriesResult(std::size_t)>& body) {
+    const std::function<StaticSeriesResult(
+        std::size_t, const support::ShardExecutor&)>& body) {
   const std::size_t replicas = std::max<std::size_t>(1, params.replicas);
   const ParallelReplicaRunner pool(params.threads);
-  return pool.map<StaticSeriesResult>(replicas, body);
+  const std::size_t budget = figure_sim_budget(params, pool);
+  return pool.map<StaticSeriesResult>(replicas, [&](std::size_t rep) {
+    support::ShardExecutor exec(budget);
+    arm_shard_spans(exec, params, static_cast<int>(rep) + 1);
+    return body(rep, exec);
+  });
 }
 
 StaticSeriesResult run_static_series(sim::Simulator& sim,
@@ -329,7 +361,8 @@ FigureReport fig_static_quality(const FigureSpec& spec,
   const sim::NetworkConfig net = net_config(params);
   const topo::TopologyConfig topology = topo_config(params);
   const RngStream root(params.seed);
-  const auto outcomes = run_static_replicas(params, [&](std::size_t rep) {
+  const auto outcomes = run_static_replicas(
+      params, [&](std::size_t rep, const support::ShardExecutor& exec) {
     const int lane = static_cast<int>(rep) + 1;
     RngStream graph_rng = root.split("graph", rep);
     obs::Span build_span = obs_span(params, "graph-build", lane);
@@ -339,7 +372,7 @@ FigureReport fig_static_quality(const FigureSpec& spec,
     build_span = obs::Span{};
     {
       const obs::Span embed_span = obs_span(params, "topo-embed", lane);
-      sim.set_topology(topology);
+      sim.set_topology(topology, &exec);
     }
     RngStream pick = root.split("initiator", rep);
     RngStream est_rng = root.split("estimator", rep);
@@ -482,15 +515,18 @@ FigureReport fig_agg_convergence(const FigureSpec& spec,
   };
   const char glyphs[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
   const ParallelReplicaRunner pool(params.threads);
+  const std::size_t sim_budget = figure_sim_budget(params, pool);
   const auto runs = pool.map<AggRun>(params.replicas, [&](std::size_t run) {
     // Per-run sim seed: the sim's root stream only feeds the channel, so
     // this keeps runs' loss/latency draws independent without touching the
     // (ideal-channel) byte-identity contract.
     const obs::Span sim_span =
         obs_span(params, "simulate", static_cast<int>(run) + 1);
+    support::ShardExecutor exec(sim_budget);
+    arm_shard_spans(exec, params, static_cast<int>(run) + 1);
     sim::Simulator sim(graph, root.split("sim", run).seed());
     sim.set_network(net);
-    sim.set_topology(topology);
+    sim.set_topology(topology, &exec);
     const double truth = static_cast<double>(sim.graph().size());
     RngStream pick = root.split("initiator", run);
     RngStream est_rng = root.split("estimator", run);
@@ -693,7 +729,8 @@ FigureReport fig_scale_free_compare(const FigureSpec&,
 FigureReport dynamic_tracking(const est::Estimator& proto,
                               std::string_view scenario,
                               const FigureParams& params,
-                              double rounds_per_unit) {
+                              double rounds_per_unit,
+                              bool sharded_build = false) {
   const std::shared_ptr<const scenario::Dynamics> workload =
       scenario::workload_by_name(scenario, params.nodes);
   const std::size_t nodes = workload->initial_size().value_or(params.nodes);
@@ -712,11 +749,24 @@ FigureReport dynamic_tracking(const est::Estimator& proto,
         ": --topo has no effect on this estimator (its traffic does not "
         "route through the delivery channel); drop the flag");
   }
-  const scenario::ScenarioRunner runner(workload, hetero_factory(nodes),
+  const ParallelReplicaRunner pool(params.threads);
+  const std::size_t sim_budget = figure_sim_budget(params, pool);
+  // The sharded builder is a different deterministic wiring (see
+  // net/parallel_build.hpp): opt-in, thread-invariant, recorded in the
+  // params line below. The factory owns its executor — GraphFactory runs
+  // inside the replica, where the runner's executor is out of reach.
+  scenario::GraphFactory factory = hetero_factory(nodes);
+  if (sharded_build) {
+    factory = [nodes, sim_budget](RngStream& rng) {
+      const support::ShardExecutor exec(sim_budget);
+      return net::build_heterogeneous_sharded({nodes, 1, 10}, rng, &exec);
+    };
+  }
+  const scenario::ScenarioRunner runner(workload, std::move(factory),
                                         params.seed);
   const scenario::ScenarioRunner::RunOptions options{
-      params.estimations, rounds_per_unit, net, topology, params.telemetry};
-  const ParallelReplicaRunner pool(params.threads);
+      params.estimations, rounds_per_unit, net,
+      topology,           params.telemetry, sim_budget};
   const std::size_t replica_count = std::max<std::size_t>(1, params.replicas);
   const auto replicas =
       pool.map<scenario::Series>(replica_count, [&](std::size_t r) {
@@ -808,6 +858,7 @@ FigureReport dynamic_tracking(const est::Estimator& proto,
     };
   }
   report.params += net_suffix(net) + topo_suffix(topology);
+  if (sharded_build) report.params += " build=sharded";
   if (!net.ideal() || !topology.flat()) {
     report.notes.push_back(
         "mean measured delay per estimate: " +
@@ -2224,7 +2275,8 @@ FigureReport run_matrix(const MatrixOptions& options) {
   // out replicas, so an unknown name still fails fast.
   FigureReport report = dynamic_tracking(*proto, options.scenario,
                                          options.params,
-                                         options.rounds_per_unit);
+                                         options.rounds_per_unit,
+                                         options.sharded_build);
   const est::EstimatorSpec spec = est::EstimatorSpec::parse(options.estimator);
   report.id = "matrix_" + spec.name + "_" + options.scenario;
   report.params = "estimator=" + spec.canonical() +

@@ -1,0 +1,255 @@
+#include "p2pse/net/parallel_build.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "p2pse/support/check.hpp"
+#include "p2pse/support/sharding.hpp"
+
+namespace p2pse::net {
+namespace {
+
+void validate_sharded_config(const HeterogeneousConfig& config) {
+  if (config.min_degree == 0) {
+    throw std::invalid_argument("sharded build: min_degree must be >= 1");
+  }
+  if (config.min_degree > config.max_degree) {
+    throw std::invalid_argument("sharded build: min_degree > max_degree");
+  }
+  if (config.nodes >= 2 && config.max_degree >= config.nodes) {
+    throw std::invalid_argument(
+        "sharded build: max_degree must be < node count");
+  }
+}
+
+/// One endpoint's view of a proposal: `node` must decide about `partner`.
+/// gid = proposer * max_degree + draw index is globally unique and totally
+/// orders proposals, so verdicts are independent of arrival order.
+struct HalfEdge {
+  NodeId node;
+  NodeId partner;
+  std::uint64_t gid;
+};
+
+[[nodiscard]] std::size_t owner_shard(
+    NodeId id, const std::vector<support::ShardRange>& ranges) {
+  // Ranges are contiguous ascending; binary-search the one containing id.
+  std::size_t lo = 0;
+  std::size_t hi = ranges.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (id < ranges[mid].end) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+GraphAssembler::GraphAssembler(std::size_t nodes) {
+  graph_.extents_.resize(nodes);
+  graph_.degree_.assign(nodes, 0);
+  graph_.alive_pos_.resize(nodes);
+  graph_.alive_.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    graph_.alive_pos_[i] = static_cast<std::uint32_t>(i);
+    graph_.alive_[i] = static_cast<NodeId>(i);
+  }
+  // Mirror Graph(nodes): construction counts as `nodes` joins.
+  graph_.counters_.joins = nodes;
+}
+
+void GraphAssembler::place(NodeId id, std::uint32_t len) {
+  P2PSE_CHECK_MSG(id == next_place_,
+                  "GraphAssembler::place: ids must arrive in ascending order");
+  Graph::Extent& e = graph_.extents_[id];
+  e.len = len;
+  graph_.degree_[id] = len;
+  if (len > 0) {
+    e.offset = next_offset_;
+    e.cap = std::bit_ceil(std::max(len, Graph::kMinCap));
+    next_offset_ += e.cap;
+  }
+  ++next_place_;
+  // The last placement fixes the arena size; fill_slot may then run from
+  // worker threads against stable storage.
+  if (static_cast<std::size_t>(next_place_) == graph_.extents_.size()) {
+    graph_.arena_.resize(next_offset_);
+  }
+}
+
+void GraphAssembler::fill_slot(NodeId id, std::uint32_t slot,
+                               NodeId neighbor) noexcept {
+  const Graph::Extent& e = graph_.extents_[id];
+  graph_.arena_[e.offset + slot] = neighbor;
+}
+
+Graph GraphAssembler::finish(std::size_t edges) {
+  P2PSE_CHECK_MSG(static_cast<std::size_t>(next_place_) ==
+                      graph_.extents_.size(),
+                  "GraphAssembler::finish: not every node was placed");
+#if P2PSE_CHECK_ENABLED
+  // Handshake + extent invariants: degree sums must be twice the edge
+  // count, every chunk a power of two >= kMinCap sized to its length, and
+  // every filled slot a valid non-self node id.
+  std::uint64_t degree_sum = 0;
+  for (NodeId id = 0; id < graph_.extents_.size(); ++id) {
+    const Graph::Extent& e = graph_.extents_[id];
+    degree_sum += e.len;
+    P2PSE_CHECK(e.len == 0 ? e.cap == 0
+                           : std::has_single_bit(e.cap) &&
+                                 e.cap >= Graph::kMinCap && e.len <= e.cap);
+    for (std::uint32_t s = 0; s < e.len; ++s) {
+      const NodeId nb = graph_.arena_[e.offset + s];
+      P2PSE_CHECK(nb < graph_.extents_.size() && nb != id);
+    }
+  }
+  P2PSE_CHECK_MSG(degree_sum == 2 * static_cast<std::uint64_t>(edges),
+                  "GraphAssembler::finish: edge handshake mismatch");
+#endif
+  graph_.edges_ = edges;
+  return std::move(graph_);
+}
+
+Graph build_heterogeneous_sharded(const HeterogeneousConfig& config,
+                                  const support::RngStream& rng,
+                                  const support::ShardExecutor* executor,
+                                  ShardedBuildStats* stats) {
+  validate_sharded_config(config);
+  const std::size_t n = config.nodes;
+  const std::uint64_t max_degree = config.max_degree;
+  const support::ShardExecutor inline_executor(1);
+  const support::ShardExecutor& exec = executor ? *executor : inline_executor;
+
+  if (n < 2) {
+    if (stats) *stats = {};
+    GraphAssembler trivial(n);
+    for (NodeId id = 0; id < n; ++id) trivial.place(id, 0);
+    return trivial.finish(0);
+  }
+
+  const std::vector<support::ShardRange> ranges =
+      support::shard_ranges(n, kBuildShards);
+
+  // --- Superstep 1: propose. Each shard streams its own substream and
+  // routes every non-self proposal to both endpoint owners. The
+  // (source-shard x owner-shard) bucket matrix keeps writers disjoint.
+  std::vector<std::vector<std::vector<HalfEdge>>> buckets(
+      kBuildShards, std::vector<std::vector<HalfEdge>>(kBuildShards));
+  std::vector<ShardedBuildStats> shard_stats(kBuildShards);
+  exec.run(kBuildShards, [&](std::size_t s) {
+    support::RngStream shard_rng = rng.split("shard", s);
+    auto& out = buckets[s];
+    ShardedBuildStats& st = shard_stats[s];
+    for (NodeId u = static_cast<NodeId>(ranges[s].begin);
+         u < static_cast<NodeId>(ranges[s].end); ++u) {
+      const auto target = static_cast<std::uint64_t>(shard_rng.uniform_int(
+          static_cast<std::int64_t>(config.min_degree),
+          static_cast<std::int64_t>(config.max_degree)));
+      for (std::uint64_t j = 0; j < target; ++j) {
+        const auto v = static_cast<NodeId>(
+            shard_rng.uniform_u64(static_cast<std::uint64_t>(n)));
+        if (v == u) {
+          ++st.self_loops;
+          continue;
+        }
+        ++st.proposals;
+        const std::uint64_t gid = static_cast<std::uint64_t>(u) * max_degree + j;
+        out[s].push_back(HalfEdge{u, v, gid});
+        out[owner_shard(v, ranges)].push_back(HalfEdge{v, u, gid});
+      }
+    }
+  });
+
+  // --- Superstep 2: verdict. Each owner shard gathers its nodes' incident
+  // proposals, sorts them into (node, gid) order and applies the capacity /
+  // duplicate rule per node. Source- and destination-side acceptances land
+  // in separate per-gid arrays, so no two shards write the same byte.
+  std::vector<std::vector<HalfEdge>> incident(kBuildShards);
+  std::vector<std::uint8_t> src_ok(n * max_degree, 0);
+  std::vector<std::uint8_t> dst_ok(n * max_degree, 0);
+  exec.run(kBuildShards, [&](std::size_t d) {
+    auto& mine = incident[d];
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < kBuildShards; ++s) total += buckets[s][d].size();
+    mine.reserve(total);
+    for (std::size_t s = 0; s < kBuildShards; ++s) {
+      mine.insert(mine.end(), buckets[s][d].begin(), buckets[s][d].end());
+    }
+    std::sort(mine.begin(), mine.end(), [](const HalfEdge& a, const HalfEdge& b) {
+      return a.node != b.node ? a.node < b.node : a.gid < b.gid;
+    });
+    ShardedBuildStats& st = shard_stats[d];
+    std::vector<NodeId> accepted;
+    accepted.reserve(max_degree);
+    for (std::size_t i = 0; i < mine.size();) {
+      const NodeId w = mine[i].node;
+      accepted.clear();
+      for (; i < mine.size() && mine[i].node == w; ++i) {
+        const HalfEdge& h = mine[i];
+        bool ok = false;
+        if (accepted.size() >= max_degree) {
+          ++st.rejected_capacity;
+        } else if (std::find(accepted.begin(), accepted.end(), h.partner) !=
+                   accepted.end()) {
+          ++st.rejected_duplicate;
+        } else {
+          accepted.push_back(h.partner);
+          ok = true;
+        }
+        if (ok) {
+          // Source side iff w proposed this gid (gid / max_degree == w).
+          if (h.gid / max_degree == w) {
+            src_ok[h.gid] = 1;
+          } else {
+            dst_ok[h.gid] = 1;
+          }
+        }
+      }
+    }
+  });
+
+  // --- Sizes: a proposal materializes iff both sides accepted. Each owner
+  // shard counts its nodes' surviving entries (dense per-slot array, shards
+  // own disjoint id ranges).
+  std::vector<std::uint32_t> final_degree(n, 0);
+  exec.run(kBuildShards, [&](std::size_t d) {
+    ShardedBuildStats& st = shard_stats[d];
+    for (const HalfEdge& h : incident[d]) {
+      const bool survives = src_ok[h.gid] != 0 && dst_ok[h.gid] != 0;
+      if (survives) {
+        ++final_degree[h.node];
+        if (h.gid / max_degree == h.node) ++st.edges;  // count once, src side
+      } else if (h.gid / max_degree == h.node && src_ok[h.gid] != 0) {
+        ++st.rejected_peer;
+      }
+    }
+  });
+
+  // --- Layout (sequential prefix sum over exact lengths) + parallel fill.
+  GraphAssembler assembler(n);
+  for (NodeId id = 0; id < n; ++id) assembler.place(id, final_degree[id]);
+  exec.run(kBuildShards, [&](std::size_t d) {
+    std::uint32_t slot = 0;
+    NodeId current = kInvalidNode;
+    for (const HalfEdge& h : incident[d]) {  // already (node, gid) sorted
+      if (src_ok[h.gid] == 0 || dst_ok[h.gid] == 0) continue;
+      if (h.node != current) {
+        current = h.node;
+        slot = 0;
+      }
+      assembler.fill_slot(h.node, slot++, h.partner);
+    }
+  });
+
+  ShardedBuildStats merged;  // shard-index order, like SimCounters merges
+  for (std::size_t s = 0; s < kBuildShards; ++s) merged += shard_stats[s];
+  if (stats) *stats = merged;
+  return assembler.finish(static_cast<std::size_t>(merged.edges));
+}
+
+}  // namespace p2pse::net

@@ -1,0 +1,118 @@
+#pragma once
+// Sharded, thread-count-invariant overlay construction.
+//
+// build_heterogeneous_sharded is a NEW deterministic algorithm, not a
+// parallelization of build_heterogeneous_random: the sequential §IV-A
+// wiring pass draws candidates against live degree state, so its draw
+// sequence is inherently order-dependent and cannot be reproduced by
+// independent shards. Here every proposal is generated up front from a
+// fixed per-shard substream (split("shard", s), kBuildShards shards — a
+// spec'd constant, never the worker count) and arbitrated by a
+// deterministic two-superstep rule, so the resulting graph is a pure
+// function of (seed, config) and byte-identical at any --sim-threads.
+//
+// Algorithm (half-edge arbitration):
+//   1. PROPOSE (parallel over shards): node u draws a degree target
+//      uniformly in [min,max] and `target` candidate peers uniformly over
+//      all nodes; each non-self proposal {u, v} gets the canonical id
+//      gid = u*max_degree + j (j = draw index) and is routed, as a
+//      half-edge, to the shard owning u and the shard owning v.
+//   2. VERDICT (parallel over owner shards): each node scans its incident
+//      proposals in ascending gid order, rejecting duplicates of an
+//      already-accepted partner and anything past its max_degree capacity.
+//      An edge materializes iff BOTH endpoints accept — both sides see
+//      every proposal involving the pair, so their duplicate decisions
+//      agree by construction.
+//   3. FILL (parallel, after a sequential prefix-sum over exact per-node
+//      lengths): accepted partners are written in gid order into a
+//      once-sized arena through GraphAssembler.
+//
+// Like the sequential builder, realized degrees never exceed max_degree and
+// average degree lands near the paper's ~7.2 for [1,10]; unlike it, a node
+// may undershoot its target when a proposed peer rejects (the sequential
+// pass would redraw). Both are valid instances of the paper's topology
+// model — but their byte streams differ, so the sharded builder is opt-in
+// (p2pse_matrix --sharded-build, or this API) and default figure paths keep
+// the sequential builder.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "p2pse/net/builders.hpp"
+#include "p2pse/net/graph.hpp"
+#include "p2pse/support/rng.hpp"
+
+namespace p2pse::support {
+class ShardExecutor;
+}  // namespace p2pse::support
+
+namespace p2pse::net {
+
+/// Fixed shard count for the sharded builder and churn primitives. Part of
+/// the output spec: changing it changes bytes, changing worker counts never
+/// does.
+inline constexpr std::size_t kBuildShards = 64;
+
+/// Per-shard build diagnostics, merged in shard-index order with +=
+/// (commutative u64 sums, like obs::SimCounters). The duplicate/capacity
+/// tallies are per-endpoint decisions, so a doubly-rejected proposal counts
+/// in both endpoints' shards.
+struct ShardedBuildStats {
+  std::uint64_t proposals = 0;           // non-self half-edge pairs generated
+  std::uint64_t self_loops = 0;          // draws discarded as u == v
+  std::uint64_t rejected_duplicate = 0;  // endpoint saw the partner already
+  std::uint64_t rejected_capacity = 0;   // endpoint past max_degree
+  std::uint64_t rejected_peer = 0;       // this side accepted, peer refused
+  std::uint64_t edges = 0;               // both sides accepted
+
+  ShardedBuildStats& operator+=(const ShardedBuildStats& other) noexcept {
+    proposals += other.proposals;
+    self_loops += other.self_loops;
+    rejected_duplicate += other.rejected_duplicate;
+    rejected_capacity += other.rejected_capacity;
+    rejected_peer += other.rejected_peer;
+    edges += other.edges;
+    return *this;
+  }
+};
+
+/// Builds the heterogeneous overlay with the sharded algorithm above.
+/// `rng` is only split (per shard), never drawn from. `executor` supplies
+/// the worker budget; nullptr runs every shard inline (identical bytes).
+/// `stats` (optional) receives the shard-order merged diagnostics.
+[[nodiscard]] Graph build_heterogeneous_sharded(
+    const HeterogeneousConfig& config, const support::RngStream& rng,
+    const support::ShardExecutor* executor = nullptr,
+    ShardedBuildStats* stats = nullptr);
+
+/// Direct Graph assembly for bulk construction: size the arena once from
+/// exact per-node degrees, then let worker threads fill disjoint extents
+/// concurrently. The assembled graph is indistinguishable from one built by
+/// Graph(n) + add_edge in the same adjacency order (extents use the same
+/// power-of-two capacity ladder; join counters mirror Graph(n)).
+class GraphAssembler {
+ public:
+  /// Starts assembly of a graph with `nodes` alive, edgeless slots.
+  explicit GraphAssembler(std::size_t nodes);
+
+  /// Fixes node `id`'s final adjacency length and assigns its chunk.
+  /// Sequential phase (runs the arena prefix sum); call for every id in
+  /// ascending order, exactly once.
+  void place(NodeId id, std::uint32_t len);
+
+  /// Writes neighbor slot `slot` (< the placed len) of node `id`. Safe to
+  /// call concurrently for distinct ids after every place() is done.
+  void fill_slot(NodeId id, std::uint32_t slot, NodeId neighbor) noexcept;
+
+  /// Finalizes and returns the graph. Checked builds verify the assembly
+  /// bookkeeping: every placed slot filled, handshake symmetry of the
+  /// edge count (sum of lens == 2 * edges).
+  [[nodiscard]] Graph finish(std::size_t edges);
+
+ private:
+  Graph graph_;
+  std::uint64_t next_offset_ = 0;
+  NodeId next_place_ = 0;
+};
+
+}  // namespace p2pse::net

@@ -15,7 +15,7 @@ SimCounters RunTelemetry::sim() const {
 }
 
 void RunTelemetry::progress(std::string_view message) {
-  if (!progress_enabled_) return;
+  if (!progress_enabled_.load(std::memory_order_relaxed)) return;
   const auto now = std::chrono::steady_clock::now();
   const std::lock_guard<std::mutex> lock(mutex_);
   if (progress_started_ &&

@@ -8,6 +8,7 @@
 // concurrently. add_replica sums u64 counters under a mutex — addition is
 // commutative, so the merged `sim` totals are invariant under --threads.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -37,10 +38,15 @@ class RunTelemetry {
     return trace_.span(std::move(name), tid);
   }
 
-  /// Enables the stderr heartbeat (--progress).
-  void enable_progress() noexcept { progress_enabled_ = true; }
+  /// Enables the stderr heartbeat (--progress). The flag is atomic: it is
+  /// read by progress() on replica worker threads without taking mutex_
+  /// (the disabled fast path must stay a single load), while the CLI may
+  /// set it from the main thread.
+  void enable_progress() noexcept {
+    progress_enabled_.store(true, std::memory_order_relaxed);
+  }
   [[nodiscard]] bool progress_enabled() const noexcept {
-    return progress_enabled_;
+    return progress_enabled_.load(std::memory_order_relaxed);
   }
 
   /// Emits "p2pse: <message>" to stderr, rate-limited to one line per
@@ -52,7 +58,7 @@ class RunTelemetry {
   mutable std::mutex mutex_;
   SimCounters sim_;
   TraceLog trace_;
-  bool progress_enabled_ = false;
+  std::atomic<bool> progress_enabled_{false};
   bool progress_started_ = false;
   std::chrono::steady_clock::time_point last_progress_{};
 };

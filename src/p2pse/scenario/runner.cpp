@@ -1,11 +1,13 @@
 #include "p2pse/scenario/runner.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "p2pse/obs/telemetry.hpp"
+#include "p2pse/support/sharding.hpp"
 
 namespace p2pse::scenario {
 namespace {
@@ -24,6 +26,21 @@ void tick_progress(obs::RunTelemetry* telemetry, std::uint64_t replica,
   telemetry->progress("replica " + std::to_string(replica) +
                       ": t=" + std::to_string(t) +
                       " alive=" + std::to_string(alive));
+}
+
+/// Arms `exec` with this replica's per-shard scope hook: each shard body
+/// runs inside a "sim-shard-<s>" trace span opened on the shard's executing
+/// thread (inert without telemetry; support/ stays obs-free because the
+/// hook is type-erased).
+void arm_shard_spans(support::ShardExecutor& exec,
+                     obs::RunTelemetry* telemetry, std::uint64_t replica) {
+  if (telemetry == nullptr || exec.workers() <= 1) return;
+  exec.set_scope_hook(
+      [telemetry, replica](std::size_t shard) -> std::shared_ptr<void> {
+        return std::make_shared<obs::Span>(
+            telemetry->span("sim-shard-" + std::to_string(shard),
+                            static_cast<int>(replica) + 1));
+      });
 }
 
 }  // namespace
@@ -63,10 +80,12 @@ Series ScenarioRunner::run(const est::Estimator& prototype,
                     support::RngStream& rng) {
           return instance->estimate_point(sim, initiator, rng);
         },
-        replica, options.network, options.topology, options.telemetry);
+        replica, options.network, options.topology, options.telemetry,
+        options.sim_workers);
   }
   return run_epochs(*instance, options.rounds_per_unit, replica,
-                    options.network, options.topology, options.telemetry);
+                    options.network, options.topology, options.telemetry,
+                    options.sim_workers);
 }
 
 Series ScenarioRunner::run_point(std::size_t estimations,
@@ -74,9 +93,12 @@ Series ScenarioRunner::run_point(std::size_t estimations,
                                  std::uint64_t replica,
                                  const sim::NetworkConfig& network,
                                  const topo::TopologyConfig& topology,
-                                 obs::RunTelemetry* telemetry) const {
+                                 obs::RunTelemetry* telemetry,
+                                 std::size_t sim_workers) const {
   if (estimations == 0) return {};
   const obs::Span span = replica_span(telemetry, "simulate", replica);
+  support::ShardExecutor shard_exec(std::max<std::size_t>(1, sim_workers));
+  arm_shard_spans(shard_exec, telemetry, replica);
   const support::RngStream root = support::RngStream(seed_).split("replica", replica);
   support::RngStream graph_rng = root.split("graph");
   support::RngStream churn_rng = root.split("churn");
@@ -88,7 +110,9 @@ Series ScenarioRunner::run_point(std::size_t estimations,
   sim.set_network(network);
   build_span = obs::Span{};
   obs::Span embed_span = replica_span(telemetry, "topo-embed", replica);
-  sim.set_topology(topology);  // no-op (and no draws) for a flat config
+  // No-op (and no draws) for a flat config; sharded across the budget
+  // otherwise — same bytes at every budget.
+  sim.set_topology(topology, &shard_exec);
   embed_span = obs::Span{};
   const std::unique_ptr<DynamicsCursor> cursor =
       dynamics_->bind(sim.graph(), churn_rng);
@@ -129,7 +153,8 @@ Series ScenarioRunner::run_epochs(est::Estimator& estimator,
                                   std::uint64_t replica,
                                   const sim::NetworkConfig& network,
                                   const topo::TopologyConfig& topology,
-                                  obs::RunTelemetry* telemetry) const {
+                                  obs::RunTelemetry* telemetry,
+                                  std::size_t sim_workers) const {
   if (rounds_per_unit <= 0.0) {
     throw std::invalid_argument("ScenarioRunner: rounds_per_unit must be > 0");
   }
@@ -139,6 +164,8 @@ Series ScenarioRunner::run_epochs(est::Estimator& estimator,
                                 ": rounds_per_epoch must be > 0");
   }
   const obs::Span span = replica_span(telemetry, "simulate", replica);
+  support::ShardExecutor shard_exec(std::max<std::size_t>(1, sim_workers));
+  arm_shard_spans(shard_exec, telemetry, replica);
   const support::RngStream root = support::RngStream(seed_).split("replica", replica);
   support::RngStream graph_rng = root.split("graph");
   support::RngStream churn_rng = root.split("churn");
@@ -150,7 +177,9 @@ Series ScenarioRunner::run_epochs(est::Estimator& estimator,
   sim.set_network(network);
   build_span = obs::Span{};
   obs::Span embed_span = replica_span(telemetry, "topo-embed", replica);
-  sim.set_topology(topology);  // no-op (and no draws) for a flat config
+  // No-op (and no draws) for a flat config; sharded across the budget
+  // otherwise — same bytes at every budget.
+  sim.set_topology(topology, &shard_exec);
   embed_span = obs::Span{};
   const std::unique_ptr<DynamicsCursor> cursor =
       dynamics_->bind(sim.graph(), churn_rng);

@@ -87,6 +87,12 @@ class ScenarioRunner {
     /// Telemetry NEVER touches an RNG stream: a run with a sink is
     /// byte-identical to one without.
     obs::RunTelemetry* telemetry = nullptr;
+    /// Intra-replica worker budget (resolved; see
+    /// support::sim_worker_budget). 1 = fully sequential replica. >1 shards
+    /// the topology embedding across that many workers — BYTE-IDENTICAL
+    /// output at any value (shard counts are spec'd constants, per-shard
+    /// substreams merge in index order).
+    std::size_t sim_workers = 1;
   };
 
   /// `seed` is the root seed; replica r derives graph/estimator/churn
@@ -112,7 +118,8 @@ class ScenarioRunner {
       std::uint64_t replica = 0,
       const sim::NetworkConfig& network = sim::NetworkConfig{},
       const topo::TopologyConfig& topology = topo::TopologyConfig{},
-      obs::RunTelemetry* telemetry = nullptr) const;
+      obs::RunTelemetry* telemetry = nullptr,
+      std::size_t sim_workers = 1) const;
 
   [[nodiscard]] const Dynamics& dynamics() const noexcept {
     return *dynamics_;
@@ -124,7 +131,8 @@ class ScenarioRunner {
                                   std::uint64_t replica,
                                   const sim::NetworkConfig& network,
                                   const topo::TopologyConfig& topology,
-                                  obs::RunTelemetry* telemetry) const;
+                                  obs::RunTelemetry* telemetry,
+                                  std::size_t sim_workers) const;
   [[nodiscard]] net::NodeId ensure_initiator(const net::Graph& graph,
                                              net::NodeId current,
                                              support::RngStream& rng) const;

@@ -84,13 +84,23 @@ class Simulator {
   /// installs nothing at all: the channel stays on its i.i.d. draw path and
   /// the run is byte-identical to one that never mentioned a topology.
   void set_topology(const topo::TopologyConfig& config) {
+    set_topology(config, nullptr);
+  }
+
+  /// set_topology with an intra-replica worker budget: the eager embedding
+  /// of all alive nodes (the dominant cost at 1M+ nodes) runs sharded on
+  /// `executor`. Byte-identical to the sequential overload at any budget —
+  /// see topo::Topology::attach. The executor is only used during this
+  /// call; later churn-driven embeds stay on the sim thread.
+  void set_topology(const topo::TopologyConfig& config,
+                    const support::ShardExecutor* executor) {
     if (config.flat()) {
       channel_.set_topology(nullptr);
       topology_.reset();
       return;
     }
     topology_ = std::make_unique<topo::Topology>(config, rng_.split("topo"));
-    topology_->attach(graph_);
+    topology_->attach(graph_, executor);
     channel_.set_topology(topology_.get());
   }
 

@@ -1,0 +1,64 @@
+#include "p2pse/support/sharding.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "p2pse/support/check.hpp"
+
+namespace p2pse::support {
+
+std::vector<ShardRange> shard_ranges(std::size_t n, std::size_t shards) {
+  P2PSE_CHECK_MSG(shards > 0, "shard_ranges: shard count must be positive");
+  std::vector<ShardRange> ranges(shards);
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t end = begin + base + (s < extra ? 1 : 0);
+    ranges[s] = ShardRange{begin, end};
+    begin = end;
+  }
+  return ranges;
+}
+
+ShardExecutor::ShardExecutor(std::size_t workers) : workers_(workers) {
+  if (workers_ == 0) {
+    workers_ = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+}
+
+ShardExecutor::~ShardExecutor() = default;
+
+void ShardExecutor::run(std::size_t shards,
+                        const std::function<void(std::size_t)>& fn) const {
+  if (shards == 0) return;
+  const auto body = [this, &fn](std::size_t shard) {
+    const std::shared_ptr<void> scope =
+        scope_hook_ ? scope_hook_(shard) : nullptr;
+    fn(shard);
+  };
+  if (workers_ <= 1 || shards == 1) {
+    for (std::size_t s = 0; s < shards; ++s) body(s);
+    return;
+  }
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(workers_);
+  pool_->parallel_for_ranges(shards,
+                             [&body](std::size_t begin, std::size_t end) {
+                               for (std::size_t s = begin; s < end; ++s) {
+                                 body(s);
+                               }
+                             });
+}
+
+std::size_t sim_worker_budget(std::size_t replica_workers,
+                              std::size_t sim_threads) {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t replicas = std::max<std::size_t>(1, replica_workers);
+  const std::size_t fair = std::max<std::size_t>(1, hw / replicas);
+  if (sim_threads == 0) return fair;       // auto: split the machine evenly
+  if (replicas <= 1) return sim_threads;   // explicit and unnested: trust it
+  return std::max<std::size_t>(1, std::min(sim_threads, fair));
+}
+
+}  // namespace p2pse::support

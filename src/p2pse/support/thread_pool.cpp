@@ -39,20 +39,74 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  parallel_for_ranges(n, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_for_ranges(
+    std::size_t n,
+    const std::function<void(std::size_t begin, std::size_t end)>& fn) {
+  if (n == 0) return;
+
+  // Oversubscribe modestly (4 chunks per worker) so a straggler range does
+  // not serialize the tail, while keeping queue traffic bounded.
+  const std::size_t chunks = std::min(n, thread_count() * 4);
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
   }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+
+  // All batch state lives on the caller's stack; tasks reference it and the
+  // caller blocks until `remaining` hits zero, so no lifetime extension
+  // (shared_ptr / future) is needed.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::vector<std::exception_ptr> errors;  // slot per range, index order
+  } batch{.remaining = chunks};
+  batch.errors.resize(chunks);
+
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  {
+    const std::lock_guard lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: parallel_for after shutdown");
+    }
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t len = base + (c < extra ? 1 : 0);
+      const std::size_t end = begin + len;
+      queue_.emplace_back([&batch, &fn, c, begin, end] {
+        try {
+          fn(begin, end);
+        } catch (...) {
+          const std::lock_guard guard(batch.mutex);
+          batch.errors[c] = std::current_exception();
+        }
+        bool last = false;
+        {
+          const std::lock_guard guard(batch.mutex);
+          last = --batch.remaining == 0;
+        }
+        if (last) batch.done.notify_one();
+      });
+      begin = end;
     }
   }
-  if (first_error) std::rethrow_exception(first_error);
+  wake_.notify_all();
+
+  {
+    std::unique_lock lock(batch.mutex);
+    batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+  }
+  // Rethrow deterministically: the lowest-indexed failing range wins,
+  // independent of which worker finished first.
+  for (const auto& error : batch.errors) {
+    if (error) std::rethrow_exception(error);
+  }
 }
 
 }  // namespace p2pse::support

@@ -43,7 +43,22 @@ class ThreadPool {
 
   /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
   /// Exceptions from any invocation are rethrown (the first one encountered).
+  /// Implemented on parallel_for_ranges, so the per-item cost is one indirect
+  /// call, not one heap-allocated future.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Runs `fn(begin, end)` over a chunked partition of [0, n) and waits for
+  /// completion. The pool enqueues at most thread_count()*4 range tasks (one
+  /// lock acquisition for the whole batch, zero futures), so millions of
+  /// fine-grained items cost a handful of queue operations instead of a
+  /// mutex round-trip each. Chunk boundaries depend on thread_count(), so
+  /// callers needing thread-invariant work division must partition
+  /// themselves (see support/sharding.hpp) and use `fn` merely as the
+  /// execution vehicle. Exceptions propagate: the first error in range-index
+  /// order is rethrown after all ranges finish.
+  void parallel_for_ranges(
+      std::size_t n,
+      const std::function<void(std::size_t begin, std::size_t end)>& fn);
 
  private:
   void worker_loop();

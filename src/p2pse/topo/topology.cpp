@@ -1,9 +1,12 @@
 #include "p2pse/topo/topology.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "p2pse/support/csv.hpp"
+#include "p2pse/support/sharding.hpp"
 #include "p2pse/support/spec_reader.hpp"
 
 namespace p2pse::topo {
@@ -339,6 +342,46 @@ void Topology::attach(net::Graph& graph) {
   for (const net::NodeId id : graph.alive_nodes()) {
     const NodeInfo& info = materialize(id);
     ++alive_counts_[static_cast<std::size_t>(info.cls)];
+  }
+}
+
+void Topology::attach(net::Graph& graph,
+                      const support::ShardExecutor* executor) {
+  // Small or budget-less attachments take the sequential path outright —
+  // same bytes either way (see header), this is purely a cost call.
+  constexpr std::size_t kParallelAttachThreshold = 4096;
+  const std::span<const net::NodeId> alive = graph.alive_nodes();
+  if (!executor || executor->workers() <= 1 ||
+      alive.size() < kParallelAttachThreshold) {
+    attach(graph);
+    return;
+  }
+  if (attached_) attached_->set_observer(nullptr);
+  attached_ = &graph;
+  graph.set_observer(this);
+  alive_counts_ = {};
+  // Pre-size the cache so shard workers only ever touch their own ids'
+  // slots (materialize must not resize concurrently).
+  net::NodeId max_id = 0;
+  for (const net::NodeId id : alive) max_id = std::max(max_id, id);
+  if (nodes_.size() <= max_id) {
+    nodes_.resize(static_cast<std::size_t>(max_id) + 1);
+  }
+  constexpr std::size_t kEmbedShards = 64;
+  const std::vector<support::ShardRange> ranges =
+      support::shard_ranges(alive.size(), kEmbedShards);
+  std::vector<std::array<std::size_t, kPeerClassCount>> counts(kEmbedShards);
+  executor->run(kEmbedShards, [&](std::size_t s) {
+    auto& local = counts[s];
+    for (std::size_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+      const NodeInfo& info = materialize(alive[i]);
+      ++local[static_cast<std::size_t>(info.cls)];
+    }
+  });
+  for (std::size_t s = 0; s < kEmbedShards; ++s) {
+    for (std::size_t c = 0; c < kPeerClassCount; ++c) {
+      alive_counts_[c] += counts[s][c];
+    }
   }
 }
 

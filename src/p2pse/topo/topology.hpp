@@ -45,6 +45,10 @@
 #include "p2pse/net/graph.hpp"
 #include "p2pse/support/rng.hpp"
 
+namespace p2pse::support {
+class ShardExecutor;
+}  // namespace p2pse::support
+
 namespace p2pse::topo {
 
 /// Access-link peer classes, coarsest useful taxonomy of the measurement
@@ -165,6 +169,14 @@ class Topology final : public net::MembershipObserver {
   /// join/leave notifications. At most one graph at a time; the topology
   /// must outlive the attachment (Simulator owns both).
   void attach(net::Graph& graph);
+
+  /// attach() with an intra-replica worker budget: the alive nodes embed in
+  /// parallel shards. BYTE-IDENTICAL to sequential attach at any budget —
+  /// each node's placement comes from its own split("node", id) substream
+  /// (order-independent by the determinism contract above) and the class
+  /// census merges commutative per-shard counts in shard order. nullptr or
+  /// a 1-worker executor falls back to the sequential path.
+  void attach(net::Graph& graph, const support::ShardExecutor* executor);
 
   // net::MembershipObserver — joins embed the node, leaves only update the
   // alive-class census (the embedding itself is immutable per id, which is

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "p2pse/est/sample_collide.hpp"
 #include "p2pse/net/builders.hpp"
 #include "p2pse/net/churn.hpp"
@@ -147,6 +149,92 @@ TEST(SizeMonitor, HistoryIsBounded) {
   for (int i = 0; i < 12; ++i) (void)monitor.poll(sim, rng);
   EXPECT_EQ(monitor.history().size(), 5u);
   EXPECT_EQ(monitor.polls(), 12u);
+}
+
+/// An estimator that fails exactly when its initiator has no neighbors —
+/// the behaviour of every walk-based estimator on a node whose component
+/// was cut off the overlay.
+SizeMonitor::EstimatorFn degree_gated_fn() {
+  return [](sim::Simulator& sim, net::NodeId init, support::RngStream&) {
+    Estimate e;
+    e.time = sim.now();
+    if (sim.graph().degree(init) == 0) {
+      e.valid = false;
+      return e;
+    }
+    e.value = static_cast<double>(sim.graph().size());
+    return e;
+  };
+}
+
+TEST(SizeMonitor, ReElectsInitiatorAfterFailedPoll) {
+  // Regression: poll() used to re-elect only when the initiator *died*. An
+  // alive-but-disconnected initiator made every estimation fail and was
+  // retried forever; the header always promised re-election after failures.
+  sim::Simulator sim(net::Graph(2), 21);  // two isolated nodes
+  support::RngStream rng(22);
+  SizeMonitor monitor({}, degree_gated_fn());
+  EXPECT_FALSE(monitor.poll(sim, rng).has_value());
+  EXPECT_EQ(monitor.failures(), 1u);
+  // The failed initiator is dropped, not kept for a doomed retry.
+  EXPECT_EQ(monitor.initiator(), net::kInvalidNode);
+  // Once the overlay reconnects, the next poll elects fresh and succeeds.
+  sim.graph().add_edge(0, 1);
+  const auto sample = monitor.poll(sim, rng);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_TRUE(sim.graph().is_alive(monitor.initiator()));
+  EXPECT_EQ(monitor.failures(), 1u);
+}
+
+/// A counting estimator whose value is the 1-based poll index, so history
+/// contents are exactly predictable.
+SizeMonitor::EstimatorFn counting_fn(double* counter) {
+  return [counter](sim::Simulator& sim, net::NodeId, support::RngStream&) {
+    Estimate e;
+    e.time = sim.now();
+    e.value = ++*counter;
+    return e;
+  };
+}
+
+TEST(SizeMonitor, HistoryTrimKeepsNewestSamplesInOrder) {
+  // The block trim (advance-offset + amortized compaction) is an internal
+  // optimization: the observable window must be exactly the newest
+  // `history_limit` samples, oldest first, at every point of a long run.
+  sim::Simulator sim(net::Graph(4), 23);
+  sim.graph().add_edge(0, 1);
+  support::RngStream rng(24);
+  double counter = 0.0;
+  SizeMonitor monitor({.smoothing_window = 1, .history_limit = 8},
+                      counting_fn(&counter));
+  for (int push = 1; push <= 100; ++push) {
+    ASSERT_TRUE(monitor.poll(sim, rng).has_value());
+    const auto history = monitor.history();
+    const std::size_t expected_size = std::min<std::size_t>(8, push);
+    ASSERT_EQ(history.size(), expected_size);
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      // Oldest-first: entry i holds poll number push - size + 1 + i.
+      const double want = static_cast<double>(push - expected_size + 1 + i);
+      EXPECT_DOUBLE_EQ(history[i].raw.value, want);
+      EXPECT_DOUBLE_EQ(history[i].smoothed, want);
+    }
+  }
+  EXPECT_EQ(monitor.polls(), 100u);
+}
+
+TEST(SizeMonitor, HistoryBelowLimitIsNeverTrimmed) {
+  sim::Simulator sim(net::Graph(2), 25);
+  sim.graph().add_edge(0, 1);
+  support::RngStream rng(26);
+  double counter = 0.0;
+  SizeMonitor monitor({.smoothing_window = 1, .history_limit = 50},
+                      counting_fn(&counter));
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(monitor.poll(sim, rng).has_value());
+  const auto history = monitor.history();
+  ASSERT_EQ(history.size(), 20u);
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(history[i].raw.value, static_cast<double>(i + 1));
+  }
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include "p2pse/harness/figures.hpp"
 #include "p2pse/harness/report.hpp"
+#include "p2pse/obs/telemetry.hpp"
 
 namespace p2pse::harness {
 namespace {
@@ -141,6 +142,31 @@ TEST(ParallelFigures, LSweepReportIdenticalAcrossThreadCounts) {
   const std::string baseline = render(run_figure("ablation_sc_l_sweep", p));
   p.threads = 4;
   EXPECT_EQ(render(run_figure("ablation_sc_l_sweep", p)), baseline);
+}
+
+TEST(ParallelFigures, ProgressTelemetryUnderFanOutKeepsReportIdentical) {
+  // Regression (data race): progress_enabled_ was a plain bool read outside
+  // the telemetry mutex while eight replica threads called progress()
+  // concurrently. It is atomic now; this test drives the racing path under
+  // the TSan job and pins the byte-identity guarantee with the heartbeat on.
+  MatrixOptions options;
+  options.estimator = "sample_collide:l=10";
+  options.scenario = "growing";
+  options.params = report_params(1);
+  options.params.estimations = 4;
+  const auto generate = [&] {
+    std::ostringstream out;
+    print_report(out, run_matrix(options));
+    return out.str();
+  };
+  const std::string baseline = generate();
+  options.params.threads = 8;
+  obs::RunTelemetry telemetry;
+  telemetry.enable_progress();
+  options.params.telemetry = &telemetry;
+  EXPECT_EQ(generate(), baseline);
+  EXPECT_EQ(telemetry.sim().replicas, 8u);
+  EXPECT_TRUE(telemetry.progress_enabled());
 }
 
 TEST(ParallelFigures, StaticReplicaZeroMatchesSingleReplicaSeries) {

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "p2pse/support/rng.hpp"
@@ -60,6 +62,64 @@ TEST(ThreadPool, ParallelForPropagatesFirstException) {
                                    if (i == 3) throw std::logic_error("bad");
                                  }),
                std::logic_error);
+}
+
+TEST(ThreadPool, ParallelForRangesCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_ranges(1000, [&hits](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRangesZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for_ranges(
+      0, [](std::size_t, std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ParallelForRangesHandlesFewerItemsThanChunks) {
+  // n smaller than thread_count * 4 must still cover every index once,
+  // with no empty-range calls.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(5);
+  std::atomic<int> calls{0};
+  pool.parallel_for_ranges(5, [&](std::size_t begin, std::size_t end) {
+    EXPECT_LT(begin, end);
+    ++calls;
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_LE(calls.load(), 5);
+}
+
+TEST(ThreadPool, ParallelForRangesPropagatesFirstExceptionInRangeOrder) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for_ranges(100, [](std::size_t begin, std::size_t) {
+      throw std::runtime_error("range " + std::to_string(begin));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    // Every range throws; the FIRST range's error (begin == 0) must win
+    // regardless of completion order.
+    EXPECT_STREQ(error.what(), "range 0");
+  }
+}
+
+TEST(ThreadPool, ParallelForDelegatesToRanges) {
+  // parallel_for is a per-index veneer over parallel_for_ranges; both must
+  // agree on coverage.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> ranged{0};
+  std::atomic<std::uint64_t> indexed{0};
+  pool.parallel_for_ranges(257, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ranged += i;
+  });
+  pool.parallel_for(257, [&](std::size_t i) { indexed += i; });
+  EXPECT_EQ(ranged.load(), indexed.load());
+  EXPECT_EQ(ranged.load(), 257u * 256u / 2u);
 }
 
 TEST(ThreadPool, ParallelReplicasAreDeterministic) {
