@@ -27,8 +27,8 @@ namespace p2pse::harness {
 inline constexpr std::string_view kFigureFlags[] = {
     "nodes",      "seed",   "estimations", "replicas", "l",
     "T",          "agg-rounds", "last-k",  "threads",  "sim-threads",
-    "csv",        "net",    "topo",        "stats-json", "trace-json",
-    "progress",
+    "csv",        "net",    "topo",        "sizes",    "stats-json",
+    "trace-json", "progress", "flight-record",
 };
 
 /// Maps the shared CLI flags onto `params`. Shared by figure_main and the
@@ -50,6 +50,7 @@ inline FigureParams figure_params_from_args(const support::Args& args,
   params.sim_threads = args.get_uint("sim-threads", params.sim_threads);
   params.net = args.get_string("net", params.net);
   params.topo = args.get_string("topo", params.topo);
+  params.sizes = args.get_string("sizes", params.sizes);
   return params;
 }
 
@@ -82,15 +83,23 @@ struct TelemetryCli {
   std::optional<std::string> trace_path;
   std::unique_ptr<obs::RunTelemetry> telemetry;
 
-  /// Parses the three flags; the sink exists only when at least one is set.
+  /// Parses the four flags; the sink exists only when at least one is set.
   static TelemetryCli from_args(const support::Args& args) {
     TelemetryCli cli;
     cli.stats_path = path_from_args(args, "stats-json");
     cli.trace_path = path_from_args(args, "trace-json");
     const bool progress = args.get_bool("progress", false);
-    if (cli.stats_path || cli.trace_path || progress) {
+    const std::uint64_t flight = args.get_uint("flight-record", 0);
+    if (args.has("flight-record") && flight == 0) {
+      throw std::invalid_argument(
+          "--flight-record requires a positive event count");
+    }
+    if (cli.stats_path || cli.trace_path || progress || flight > 0) {
       cli.telemetry = std::make_unique<obs::RunTelemetry>();
       if (progress) cli.telemetry->enable_progress();
+      if (flight > 0) {
+        cli.telemetry->enable_flight(static_cast<std::size_t>(flight));
+      }
     }
     return cli;
   }
@@ -128,6 +137,23 @@ struct TelemetryCli {
       telemetry->trace().write(out);
     }
   }
+
+  /// Best-effort crash dump of the flight ring (the abnormal-exit path:
+  /// contract failures in checked builds, or any uncaught error). No-op
+  /// unless --flight-record armed a ring. Returns true when the dump file
+  /// was written.
+  bool dump_flight_on_error(const char* argv0) const noexcept {
+    if (!telemetry || telemetry->flight() == nullptr) return false;
+    if (!telemetry->flight()->dump(kFlightDumpPath)) return false;
+    std::fprintf(stderr,
+                 "%s: flight recorder dumped %llu event(s) to %s\n", argv0,
+                 static_cast<unsigned long long>(
+                     telemetry->flight()->recorded()),
+                 kFlightDumpPath);
+    return true;
+  }
+
+  static constexpr const char* kFlightDumpPath = "p2pse-flight.json";
 };
 
 /// Writes the report's machine-readable series to `path` (--csv PATH).
@@ -149,6 +175,7 @@ inline int figure_main(int argc, char** argv, std::string_view figure_id) {
                  std::string(figure_id).c_str());
     return 1;
   }
+  TelemetryCli telemetry;
   try {
     const support::Args args(argc, argv);
     const FigureParams& d = spec->defaults;
@@ -185,6 +212,12 @@ inline int figure_main(int argc, char** argv, std::string_view figure_id) {
           "topo:clustered,regions=8,mix=0:0.2:0.8\n"
           "                    (models: flat, classes, clustered; default "
           "flat)\n"
+          "  --sizes SPEC      wire-size table for the bytes accounting, "
+          "e.g.\n"
+          "                    sizes:header=48,walk_step=64 (keys: header + "
+          "the 7 message\n"
+          "                    classes; pure pricing — counts and draws are "
+          "unchanged)\n"
           "  --stats-json PATH versioned JSON run summary: deterministic "
           "`sim` counters\n"
           "                    (byte-identical at any --threads) + `host` "
@@ -192,7 +225,12 @@ inline int figure_main(int argc, char** argv, std::string_view figure_id) {
           "  --trace-json PATH Chrome trace-event span profile "
           "(chrome://tracing, Perfetto)\n"
           "  --progress        wall-clock-gated heartbeat on stderr (max 1 "
-          "line/s)\n",
+          "line/s)\n"
+          "  --flight-record N keep a ring of the last N simulator events; "
+          "dumped to\n"
+          "                    p2pse-flight.json on abnormal exit (e.g. a "
+          "checked-build\n"
+          "                    contract failure)\n",
           argv[0], std::string(spec->what).c_str(), d.nodes,
           static_cast<unsigned long long>(d.seed), d.estimations, d.replicas,
           d.sc_collisions, d.sc_timer, d.agg_rounds, d.last_k, d.threads);
@@ -200,7 +238,7 @@ inline int figure_main(int argc, char** argv, std::string_view figure_id) {
     }
     args.require_known(std::span<const std::string_view>(kFigureFlags));
     const std::optional<std::string> csv_path = csv_path_from_args(args);
-    const TelemetryCli telemetry = TelemetryCli::from_args(args);
+    telemetry = TelemetryCli::from_args(args);
     FigureParams params = figure_params_from_args(args, d);
     params.telemetry = telemetry.sink();
     const FigureReport report = run_figure(*spec, params);
@@ -210,6 +248,7 @@ inline int figure_main(int argc, char** argv, std::string_view figure_id) {
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "%s: error: %s\n", argv[0], error.what());
+    telemetry.dump_flight_on_error(argv[0]);
     return 1;
   }
 }

@@ -18,6 +18,7 @@
 #include "figure_main.hpp"
 #include "p2pse/est/registry.hpp"
 #include "p2pse/scenario/scenarios.hpp"
+#include "p2pse/support/check.hpp"
 #include "p2pse/support/csv.hpp"
 #include "p2pse/topo/topology.hpp"
 #include "p2pse/trace/workloads.hpp"
@@ -57,6 +58,7 @@ void print_matrix_axes() {
 
 int main(int argc, char** argv) {
   using namespace p2pse;
+  harness::TelemetryCli telemetry;
   try {
     const support::Args args(argc, argv);
     if (args.help_requested()) {
@@ -104,7 +106,18 @@ int main(int argc, char** argv) {
           "  --trace-json PATH    Chrome trace-event span profile "
           "(chrome://tracing, Perfetto)\n"
           "  --progress           wall-clock-gated heartbeat on stderr (max "
-          "1 line/s)\n",
+          "1 line/s)\n"
+          "  --sizes SPEC         wire-size table for the bytes accounting, "
+          "e.g.\n"
+          "                       sizes:header=48,walk_step=64 (pure "
+          "pricing)\n"
+          "  --flight-record N    ring of the last N simulator events, "
+          "dumped to\n"
+          "                       p2pse-flight.json on abnormal exit\n"
+          "  --force-failure      raise a deliberate contract failure after "
+          "the run\n"
+          "                       (exercises the flight-recorder dump path; "
+          "exits 1)\n",
           argv[0]);
       return 0;
     }
@@ -113,13 +126,12 @@ int main(int argc, char** argv) {
         "nodes",     "seed",     "estimations",     "replicas",
         "l",         "T",        "agg-rounds",      "last-k",
         "threads",   "sim-threads", "sharded-build", "csv",
-        "net",       "topo",     "stats-json",      "trace-json",
-        "progress",
+        "net",       "topo",     "sizes",           "stats-json",
+        "trace-json", "progress", "flight-record",  "force-failure",
     };
     args.require_known(std::span<const std::string_view>(kFlags));
     const auto csv_path = harness::csv_path_from_args(args);
-    const harness::TelemetryCli telemetry =
-        harness::TelemetryCli::from_args(args);
+    telemetry = harness::TelemetryCli::from_args(args);
     if (args.get_bool("list", false)) {
       print_matrix_axes();
       return 0;
@@ -154,9 +166,16 @@ int main(int argc, char** argv) {
     if (csv_path) harness::write_csv_to_path(report, *csv_path);
     telemetry.write(report, options.params);
     harness::print_report(std::cout, report);
+    if (args.get_bool("force-failure", false)) {
+      // CI smoke for the crash path: a deliberate contract failure after
+      // the run proper, so the flight dump captures real traffic.
+      throw support::CheckFailure(__FILE__, __LINE__, "force-failure",
+                                  "--force-failure requested");
+    }
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "%s: error: %s\n", argv[0], error.what());
+    telemetry.dump_flight_on_error(argv[0]);
     return 1;
   }
 }

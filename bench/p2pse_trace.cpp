@@ -97,7 +97,13 @@ void print_usage(const char* program) {
       "(deterministic `sim`\n"
       "                       section + host wall-clock/RSS `host` section)\n"
       "  --trace-json PATH    replay: Chrome trace-event span profile\n"
-      "  --progress           replay: wall-clock-gated heartbeat on stderr\n",
+      "  --progress           replay: wall-clock-gated heartbeat on stderr\n"
+      "  --sizes SPEC         replay: wire-size table for the bytes "
+      "accounting\n"
+      "                       (sizes:header=48,walk_step=64,...; pure "
+      "pricing)\n"
+      "  --flight-record N    replay: ring of the last N simulator events,\n"
+      "                       dumped to p2pse-flight.json on abnormal exit\n",
       program);
 }
 
@@ -159,7 +165,8 @@ int run_info(const support::Args& args) {
   return 0;
 }
 
-int run_replay(const support::Args& args) {
+int run_replay(const support::Args& args,
+               harness::TelemetryCli& telemetry) {
   harness::MatrixOptions options;
   if (args.has("workload")) {
     if (args.positional().size() >= 2) {
@@ -199,8 +206,7 @@ int run_replay(const support::Args& args) {
   options.estimator = spec.canonical();
 
   const auto csv_path = harness::csv_path_from_args(args);
-  const harness::TelemetryCli telemetry =
-      harness::TelemetryCli::from_args(args);
+  telemetry = harness::TelemetryCli::from_args(args);
   options.params.telemetry = telemetry.sink();
   const harness::FigureReport report = harness::run_matrix(options);
   if (csv_path) harness::write_csv_to_path(report, *csv_path);
@@ -212,6 +218,7 @@ int run_replay(const support::Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  harness::TelemetryCli telemetry;
   try {
     const support::Args args(argc, argv);
     if (args.help_requested()) {
@@ -223,8 +230,8 @@ int main(int argc, char** argv) {
         "rounds-per-unit", "replicas", "seed",  "threads",
         "sim-threads", "csv",      "list",      "workload",
         "l",           "T",        "agg-rounds", "last-k",
-        "net",         "topo",     "stats-json", "trace-json",
-        "progress",
+        "net",         "topo",     "sizes",     "stats-json",
+        "trace-json",  "progress", "flight-record",
     };
     args.require_known(std::span<const std::string_view>(kFlags));
     if (args.get_bool("list", false)) {
@@ -238,11 +245,12 @@ int main(int argc, char** argv) {
     const std::string& command = args.positional().front();
     if (command == "synth") return run_synth(args);
     if (command == "info") return run_info(args);
-    if (command == "replay") return run_replay(args);
+    if (command == "replay") return run_replay(args, telemetry);
     throw std::invalid_argument("unknown command '" + command +
                                 "' (expected synth, info, or replay)");
   } catch (const std::exception& error) {
     std::fprintf(stderr, "%s: error: %s\n", argv[0], error.what());
+    telemetry.dump_flight_on_error(argv[0]);
     return 1;
   }
 }

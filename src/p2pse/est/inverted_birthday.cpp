@@ -34,6 +34,7 @@ InvertedBirthday::Sample InvertedBirthday::sample(
   // A walk that never left the initiator (isolated node) sampled itself
   // locally: no reply crosses the network (same rule as Sample&Collide).
   if (steps > 0) {
+    sim.record_walk_hops(steps);
     const sim::Channel::Delivery reply =
         sim.send_arq(sim::MessageClass::kSampleReply, current, initiator);
     out.elapsed += reply.latency;

@@ -34,6 +34,7 @@ Estimate RandomTour::estimate_once(sim::Simulator& sim, net::NodeId initiator,
         sim.send_reliable(sim::MessageClass::kWalkStep, current, next).latency;
     current = next;
     if (current == initiator) {
+      sim.record_walk_hops(step + 1);
       Estimate estimate;
       estimate.value = static_cast<double>(init_degree) * phi;
       estimate.time = sim.now();

@@ -47,6 +47,7 @@ WalkSample SampleCollide::sample(sim::Simulator& sim, net::NodeId initiator,
   // the walk never left the initiator (isolated node: zero steps), the
   // initiator sampled itself locally and no message crosses the network.
   if (out.steps > 0) {
+    sim.record_walk_hops(out.steps);
     const sim::Channel::Delivery reply =
         sim.send_arq(sim::MessageClass::kSampleReply, out.node, initiator);
     out.elapsed += reply.latency;

@@ -24,6 +24,7 @@
 #include "p2pse/net/cyclon.hpp"
 #include "p2pse/net/parallel_build.hpp"
 #include "p2pse/net/random_walk.hpp"
+#include "p2pse/obs/size_model.hpp"
 #include "p2pse/obs/telemetry.hpp"
 #include "p2pse/scenario/runner.hpp"
 #include "p2pse/scenario/scenarios.hpp"
@@ -106,6 +107,33 @@ std::string net_suffix(const sim::NetworkConfig& net) {
 /// pre-topology figures (and an explicit "topo:flat") stay byte-identical.
 std::string topo_suffix(const topo::TopologyConfig& topology) {
   return topology.flat() ? std::string{} : " " + topology.canonical();
+}
+
+/// Params-line suffix for a non-default wire-size model (--sizes); empty on
+/// the defaults (and an explicit all-default spec), so every pre-existing
+/// figure stays byte-identical.
+std::string sizes_suffix(const FigureParams& params) {
+  if (params.sizes.empty()) return {};
+  const obs::MessageSizeModel model =
+      obs::MessageSizeModel::parse(params.sizes);
+  if (model == obs::MessageSizeModel{}) return {};
+  return " " + model.canonical();
+}
+
+/// Arms one replica simulator's observability before its traffic runs: the
+/// wire-size model (--sizes prices the meter whether or not telemetry is
+/// on) and, under a telemetry sink, the distribution recorder plus the
+/// flight-recorder ring (when --flight-record enabled one). Never touches
+/// an RNG stream — reports are byte-identical armed or not.
+void arm_obs(sim::Simulator& sim, const FigureParams& params) {
+  if (!params.sizes.empty()) {
+    sim.meter().set_wire_sizes(
+        obs::MessageSizeModel::parse(params.sizes).wire_sizes());
+  }
+  if (params.telemetry != nullptr) {
+    sim.enable_recorder();
+    sim.set_flight_recorder(params.telemetry->flight());
+  }
 }
 
 /// Snapshots one simulator's embedded counters into the figure's telemetry
@@ -368,6 +396,7 @@ FigureReport fig_static_quality(const FigureSpec& spec,
     obs::Span build_span = obs_span(params, "graph-build", lane);
     sim::Simulator sim(build_hetero(params.nodes, graph_rng),
                        root.split("sim", rep).seed());
+    arm_obs(sim, params);
     sim.set_network(net);
     build_span = obs::Span{};
     {
@@ -409,7 +438,7 @@ FigureReport fig_static_quality(const FigureSpec& spec,
                   " estimations=" + std::to_string(params.estimations) +
                   " replicas=" + std::to_string(outcomes.size()) +
                   " seed=" + std::to_string(params.seed) + net_suffix(net) +
-                  topo_suffix(topology);
+                  topo_suffix(topology) + sizes_suffix(params);
   report.plot = quality_plot(
       "Quality of " + std::string(proto->display_name()) + " estimations",
       "Number of estimations");
@@ -503,7 +532,7 @@ FigureReport fig_agg_convergence(const FigureSpec& spec,
                   " rounds=" + std::to_string(rounds) +
                   " runs=" + std::to_string(params.replicas) +
                   " seed=" + std::to_string(params.seed) + net_suffix(net) +
-                  topo_suffix(topology);
+                  topo_suffix(topology) + sizes_suffix(params);
   report.plot = quality_plot("Convergence of Aggregation", "#Round");
   report.plot.y_max = 110.0;
 
@@ -525,6 +554,7 @@ FigureReport fig_agg_convergence(const FigureSpec& spec,
     support::ShardExecutor exec(sim_budget);
     arm_shard_spans(exec, params, static_cast<int>(run) + 1);
     sim::Simulator sim(graph, root.split("sim", run).seed());
+    arm_obs(sim, params);
     sim.set_network(net);
     sim.set_topology(topology, &exec);
     const double truth = static_cast<double>(sim.graph().size());
@@ -637,6 +667,7 @@ FigureReport fig_scale_free_compare(const FigureSpec&,
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(net::build_barabasi_albert({params.nodes, 3}, graph_rng),
                      root.split("sim").seed());
+  arm_obs(sim, params);
   const double truth = static_cast<double>(sim.graph().size());
 
   FigureReport report;
@@ -765,8 +796,8 @@ FigureReport dynamic_tracking(const est::Estimator& proto,
   const scenario::ScenarioRunner runner(workload, std::move(factory),
                                         params.seed);
   const scenario::ScenarioRunner::RunOptions options{
-      params.estimations, rounds_per_unit, net,
-      topology,           params.telemetry, sim_budget};
+      params.estimations, rounds_per_unit,  net,       topology,
+      params.sizes,       params.telemetry, sim_budget};
   const std::size_t replica_count = std::max<std::size_t>(1, params.replicas);
   const auto replicas =
       pool.map<scenario::Series>(replica_count, [&](std::size_t r) {
@@ -857,7 +888,8 @@ FigureReport dynamic_tracking(const est::Estimator& proto,
             human_count(mean_messages(replicas)),
     };
   }
-  report.params += net_suffix(net) + topo_suffix(topology);
+  report.params +=
+      net_suffix(net) + topo_suffix(topology) + sizes_suffix(params);
   if (sharded_build) report.params += " build=sharded";
   if (!net.ideal() || !topology.flat()) {
     report.notes.push_back(
@@ -887,6 +919,11 @@ FigureReport table1_overhead(const FigureSpec&, const FigureParams& params) {
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
                      root.split("sim").seed());
+  arm_obs(sim, params);
+  // The bytes and max-load columns need the distribution recorder whether
+  // or not a telemetry sink is attached. Recording never draws, so the
+  // legacy columns are byte-identical to the recorder-less table.
+  sim.enable_recorder();
   const double truth = static_cast<double>(sim.graph().size());
   RngStream pick = root.split("initiator");
   const net::NodeId initiator = sim.graph().random_alive(pick);
@@ -900,18 +937,23 @@ FigureReport table1_overhead(const FigureSpec&, const FigureParams& params) {
       " node overlay (paper Table I)";
   report.params = "nodes=" + std::to_string(params.nodes) +
                   " runs=" + std::to_string(runs) +
-                  " seed=" + std::to_string(params.seed);
+                  " seed=" + std::to_string(params.seed) +
+                  sizes_suffix(params);
   report.table_columns = {"Algorithm",        "Heuristic",
                           "mean error %",     "mean |error| %",
-                          "overhead (msgs)",  "paper overhead"};
+                          "overhead (msgs)",  "overhead (bytes)",
+                          "max node load",    "paper overhead"};
 
   const auto add_row = [&](const std::string& name, const std::string& mode,
                            const support::RunningStats& signed_err,
                            const support::RunningStats& abs_err, double msgs,
+                           double bytes, std::uint64_t max_load,
                            const std::string& paper) {
     report.table_rows.push_back(
         {name, mode, format_double(signed_err.mean(), 3),
-         format_double(abs_err.mean(), 3), human_count(msgs), paper});
+         format_double(abs_err.mean(), 3), human_count(msgs),
+         human_count(bytes) + "B",
+         human_count(static_cast<double>(max_load)), paper});
   };
 
   // Sample&Collide l=200: oneShot and lastK from the same run sequence.
@@ -921,8 +963,12 @@ FigureReport table1_overhead(const FigureSpec&, const FigureParams& params) {
     RngStream rng = root.split("sc");
     est::LastKAverage smoother(params.last_k);
     support::RunningStats one_signed, one_abs, avg_signed, avg_abs, msgs;
+    support::RunningStats bytes;
+    sim.recorder()->reset_node_loads();
     for (std::size_t i = 0; i < runs; ++i) {
+      const std::uint64_t byte_base = sim.meter().total_bytes();
       const est::Estimate e = sc.estimate_once(sim, initiator, rng);
+      bytes.add(static_cast<double>(sim.meter().total_bytes() - byte_base));
       const double q = support::quality_percent(e.value, truth) - 100.0;
       one_signed.add(q);
       one_abs.add(std::abs(q));
@@ -934,11 +980,14 @@ FigureReport table1_overhead(const FigureSpec&, const FigureParams& params) {
       }
       msgs.add(static_cast<double>(e.messages));
     }
+    const std::uint64_t max_load = sim.recorder()->max_node_messages();
     add_row("Sample&Collide (l=" + std::to_string(params.sc_collisions) + ")",
-            "oneShot", one_signed, one_abs, msgs.mean(), "0.5M, +/-10%");
+            "oneShot", one_signed, one_abs, msgs.mean(), bytes.mean(),
+            max_load, "0.5M, +/-10%");
     add_row("Sample&Collide (l=" + std::to_string(params.sc_collisions) + ")",
             "last" + std::to_string(params.last_k) + "runs", avg_signed,
             avg_abs, msgs.mean() * static_cast<double>(params.last_k),
+            bytes.mean() * static_cast<double>(params.last_k), max_load,
             "5M, +/-4%");
   }
   // HopsSampling lastK.
@@ -947,8 +996,12 @@ FigureReport table1_overhead(const FigureSpec&, const FigureParams& params) {
     RngStream rng = root.split("hs");
     est::LastKAverage smoother(params.last_k);
     support::RunningStats avg_signed, avg_abs, msgs;
+    support::RunningStats bytes;
+    sim.recorder()->reset_node_loads();
     for (std::size_t i = 0; i < runs; ++i) {
+      const std::uint64_t byte_base = sim.meter().total_bytes();
       const est::HopsSamplingResult res = hs.run_once(sim, initiator, rng);
+      bytes.add(static_cast<double>(sim.meter().total_bytes() - byte_base));
       const double qa =
           support::quality_percent(smoother.add(res.estimate.value), truth) -
           100.0;
@@ -960,23 +1013,30 @@ FigureReport table1_overhead(const FigureSpec&, const FigureParams& params) {
     }
     add_row("HopsSampling", "last" + std::to_string(params.last_k) + "runs",
             avg_signed, avg_abs,
-            msgs.mean() * static_cast<double>(params.last_k), "2.5M, -20%");
+            msgs.mean() * static_cast<double>(params.last_k),
+            bytes.mean() * static_cast<double>(params.last_k),
+            sim.recorder()->max_node_messages(), "2.5M, -20%");
   }
   // Aggregation, one epoch of agg_rounds.
   {
     est::Aggregation agg({.rounds_per_epoch = params.agg_rounds});
     RngStream rng = root.split("agg");
     support::RunningStats signed_err, abs_err, msgs;
+    support::RunningStats bytes;
+    sim.recorder()->reset_node_loads();
     const std::size_t agg_runs = std::min<std::size_t>(3, runs);
     for (std::size_t i = 0; i < agg_runs; ++i) {
+      const std::uint64_t byte_base = sim.meter().total_bytes();
       const est::Estimate e = agg.run_epoch(sim, initiator, rng);
+      bytes.add(static_cast<double>(sim.meter().total_bytes() - byte_base));
       const double q = support::quality_percent(e.value, truth) - 100.0;
       signed_err.add(q);
       abs_err.add(std::abs(q));
       msgs.add(static_cast<double>(e.messages));
     }
     add_row("Aggregation", std::to_string(params.agg_rounds) + " rounds",
-            signed_err, abs_err, msgs.mean(), "10M, -1%");
+            signed_err, abs_err, msgs.mean(), bytes.mean(),
+            sim.recorder()->max_node_messages(), "10M, -1%");
   }
   report.notes = {
       "paper ordering: Aggregation (10M) > S&C-l200-last10 (5M) > "
@@ -1022,6 +1082,7 @@ FigureReport ablation_sc_l_sweep(const FigureSpec&,
   const auto cells = pool.map<SweepCell>(l_values.size(), [&](std::size_t i) {
     const std::uint32_t l = l_values[i];
     sim::Simulator sim(graph, root.split("sim").seed());
+    arm_obs(sim, params);
     const est::SampleCollide sc({.timer = params.sc_timer, .collisions = l});
     RngStream rng = root.split("sc", l);
     SweepCell cell;
@@ -1077,6 +1138,7 @@ FigureReport ablation_sc_timer_sweep(const FigureSpec&,
   const auto cells = pool.map<TimerCell>(timers.size(), [&](std::size_t i) {
     const double timer = timers[i];
     sim::Simulator sim(graph, root.split("sim").seed());
+    arm_obs(sim, params);
     const est::SampleCollide sc({.timer = timer, .collisions = 1});
     RngStream rng = root.split("walk", static_cast<std::uint64_t>(timer * 100));
     std::vector<std::uint64_t> counts(sim.graph().slot_count(), 0);
@@ -1111,6 +1173,7 @@ FigureReport ablation_hs_oracle(const FigureSpec&,
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
                      root.split("sim").seed());
+  arm_obs(sim, params);
   const double truth = static_cast<double>(sim.graph().size());
   RngStream pick = root.split("initiator");
   const net::NodeId initiator = sim.graph().random_alive(pick);
@@ -1159,6 +1222,7 @@ FigureReport ablation_estimators(const FigureSpec&,
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
                      root.split("sim").seed());
+  arm_obs(sim, params);
   const double truth = static_cast<double>(sim.graph().size());
   RngStream pick = root.split("initiator");
   const net::NodeId initiator = sim.graph().random_alive(pick);
@@ -1220,6 +1284,7 @@ FigureReport ablation_homogeneous(const FigureSpec&,
             ? net::build_homogeneous_random({params.nodes, 7}, graph_rng)
             : build_hetero(params.nodes, graph_rng);
     sim::Simulator sim(std::move(graph), root.split("sim").seed());
+    arm_obs(sim, params);
     const double truth = static_cast<double>(sim.graph().size());
     RngStream pick = root.split("initiator");
     const net::NodeId initiator = sim.graph().random_alive(pick);
@@ -1286,6 +1351,7 @@ FigureReport ablation_baselines(const FigureSpec&,
 
   const auto run_graph = [&](const std::string& label, net::Graph graph) {
     sim::Simulator sim(std::move(graph), root.split("sim").seed());
+    arm_obs(sim, params);
     const double truth = static_cast<double>(sim.graph().size());
     RngStream pick = root.split("initiator");
     const net::NodeId initiator = sim.graph().random_alive(pick);
@@ -1367,6 +1433,7 @@ FigureReport ablation_cyclon_healing(const FigureSpec&,
     const double largest =
         100.0 * static_cast<double>(info.largest_size()) / truth;
     sim::Simulator sim(std::move(graph), root.split("sim").seed());
+    arm_obs(sim, params);
     est::Aggregation agg({.rounds_per_epoch = params.agg_rounds});
     RngStream rng = root.split("agg");
     RngStream pick = root.split("pick");
@@ -1421,6 +1488,7 @@ FigureReport ablation_delay(const FigureSpec&, const FigureParams& params) {
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
                      root.split("sim").seed());
+  arm_obs(sim, params);
   RngStream pick = root.split("initiator");
   const net::NodeId initiator = sim.graph().random_alive(pick);
   const double truth = static_cast<double>(sim.graph().size());
@@ -1488,6 +1556,7 @@ FigureReport ablation_structured(const FigureSpec&,
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
                      root.split("sim").seed());
+  arm_obs(sim, params);
   const double truth = static_cast<double>(sim.graph().size());
   RngStream pick = root.split("initiator");
   const net::NodeId initiator = sim.graph().random_alive(pick);
@@ -1564,6 +1633,7 @@ FigureReport ablation_polling(const FigureSpec&, const FigureParams& params) {
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
                      root.split("sim").seed());
+  arm_obs(sim, params);
   const double truth = static_cast<double>(sim.graph().size());
   RngStream pick = root.split("initiator");
   const net::NodeId initiator = sim.graph().random_alive(pick);
@@ -1637,6 +1707,7 @@ FigureReport ablation_samplers(const FigureSpec&,
   RngStream graph_rng = root.split("graph");
   sim::Simulator sim(build_hetero(params.nodes, graph_rng),
                      root.split("sim").seed());
+  arm_obs(sim, params);
   const std::size_t n = sim.graph().size();
   const std::size_t samples = 30 * n;
   RngStream pick = root.split("initiator");
@@ -1708,13 +1779,15 @@ FigureReport ablation_oscillating(const FigureSpec&,
   const scenario::Series sc_series = runner.run(
       sc,
       {.estimations = params.estimations, .network = net,
-       .topology = topology, .telemetry = params.telemetry},
+       .topology = topology, .sizes = params.sizes,
+       .telemetry = params.telemetry},
       0);
   const est::AggregationEstimator agg({.rounds_per_epoch = params.agg_rounds});
   const scenario::Series agg_series = runner.run(
       agg,
       {.estimations = 0, .rounds_per_unit = 1.0, .network = net,
-       .topology = topology, .telemetry = params.telemetry},
+       .topology = topology, .sizes = params.sizes,
+       .telemetry = params.telemetry},
       0);
 
   FigureReport report;
@@ -1726,7 +1799,7 @@ FigureReport ablation_oscillating(const FigureSpec&,
                   " l=" + std::to_string(params.sc_collisions) +
                   " agg_rounds=" + std::to_string(params.agg_rounds) +
                   " seed=" + std::to_string(params.seed) + net_suffix(net) +
-                  topo_suffix(topology);
+                  topo_suffix(topology) + sizes_suffix(params);
   report.plot.x_label = "Time";
   report.plot.y_label = "Size";
   report.plot.height = 18;
@@ -1804,6 +1877,7 @@ LossCell run_loss_cell(const net::Graph& graph, const FigureParams& params,
   // column differences isolate the channel's effect (a hop-reliable walk
   // protocol reports the identical estimate at every loss rate).
   sim::Simulator sim(graph, root.split("sim", candidate).seed());
+  arm_obs(sim, params);
   sim.set_network(net);
   sim.set_topology(topology);
   RngStream pick = root.split("initiator", candidate);

@@ -55,6 +55,12 @@ struct FigureParams {
   /// simulator. Empty = the flat topology; an explicit "topo:flat" also
   /// installs nothing and produces byte-identical reports.
   std::string topo{};
+  /// Wire-size spec ("sizes:header=48,walk_step=64"), parsed by
+  /// obs::MessageSizeModel::parse and installed on every replica meter.
+  /// Pure accounting: it prices the bytes columns and nothing else — every
+  /// count, draw and delivery is byte-identical under any size table.
+  /// Empty (the default) keeps the built-in sizes.
+  std::string sizes{};
   /// Optional telemetry sink (non-owning, may be null — the default). When
   /// set, generators open trace spans (graph-build / simulate / merge),
   /// feed the progress heartbeat, and snapshot every replica simulator's

@@ -1,0 +1,60 @@
+#pragma once
+// FlightRecorder (--flight-record N): a bounded ring buffer of the last N
+// simulator events, dumped as JSON when a support::CheckFailure fires in a
+// checked build or a CLI exits abnormally — turning "a contract threw at
+// file:line" into "here are the last N events that led there".
+//
+// One recorder serves the whole run: replica worker threads record into it
+// concurrently through sim::FlightSink, so the ring is mutex-guarded. The
+// recorder never touches an RNG stream — a run with one attached is
+// byte-identical to a run without — but the dump's interleaving reflects
+// thread scheduling and is NOT part of any deterministic contract.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "p2pse/sim/flight_sink.hpp"
+
+namespace p2pse::obs {
+
+class FlightRecorder final : public sim::FlightSink {
+ public:
+  struct Event {
+    double time = 0.0;
+    net::NodeId node = net::kInvalidNode;
+    Kind kind = Kind::kNote;
+    sim::MessageClass cls = sim::MessageClass::kControl;
+  };
+
+  /// Keeps the most recent `capacity` events (>= 1).
+  explicit FlightRecorder(std::size_t capacity);
+
+  void record(double time, Kind kind, net::NodeId node,
+              sim::MessageClass cls) noexcept override;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Total events ever recorded (>= the ring's current occupancy).
+  [[nodiscard]] std::uint64_t recorded() const;
+  /// The buffered events, oldest first.
+  [[nodiscard]] std::vector<Event> snapshot() const;
+
+  /// The dump document: {"schema":"p2pse-flight","capacity":...,
+  /// "recorded":...,"events":[...]} with one newline at the end.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`. Returns false (never throws) when the file
+  /// cannot be written — the dump runs inside failure paths.
+  bool dump(const std::string& path) const noexcept;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Event> ring_;
+  std::size_t next_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace p2pse::obs

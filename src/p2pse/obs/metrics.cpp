@@ -1,8 +1,33 @@
 #include "p2pse/obs/metrics.hpp"
 
+#include <algorithm>
+
+#include "p2pse/sim/run_recorder.hpp"
 #include "p2pse/sim/simulator.hpp"
 
 namespace p2pse::obs {
+
+Distributions::Distributions()
+    : walk_hops(sim::walk_hop_bounds()),
+      node_messages(sim::node_message_bounds()),
+      node_bytes(sim::node_byte_bounds()),
+      degree(sim::degree_bounds()) {
+  delay.reserve(kNumMessageClasses);
+  for (std::size_t i = 0; i < kNumMessageClasses; ++i) {
+    delay.emplace_back(sim::delay_bounds());
+  }
+}
+
+Distributions& Distributions::operator+=(const Distributions& other) {
+  for (std::size_t i = 0; i < kNumMessageClasses; ++i) {
+    delay[i] += other.delay[i];
+  }
+  walk_hops += other.walk_hops;
+  node_messages += other.node_messages;
+  node_bytes += other.node_bytes;
+  degree += other.degree;
+  return *this;
+}
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds(std::move(upper_bounds)), buckets(bounds.size() + 1, 0) {}
@@ -55,7 +80,7 @@ double Metrics::gauge(std::string_view name) const {
   return it != gauges_.end() ? it->second : 0.0;
 }
 
-SimCounters& SimCounters::operator+=(const SimCounters& other) noexcept {
+SimCounters& SimCounters::operator+=(const SimCounters& other) {
   replicas += other.replicas;
   events_scheduled += other.events_scheduled;
   events_fired += other.events_fired;
@@ -71,8 +96,13 @@ SimCounters& SimCounters::operator+=(const SimCounters& other) noexcept {
   graph_chunk_recycles += other.graph_chunk_recycles;
   for (std::size_t i = 0; i < kNumMessageClasses; ++i) {
     messages[i] += other.messages[i];
+    bytes[i] += other.bytes[i];
   }
   messages_total += other.messages_total;
+  bytes_total += other.bytes_total;
+  max_node_messages = std::max(max_node_messages, other.max_node_messages);
+  max_node_bytes = std::max(max_node_bytes, other.max_node_bytes);
+  distributions += other.distributions;
   return *this;
 }
 
@@ -99,9 +129,31 @@ SimCounters collect(const sim::Simulator& sim) {
   out.graph_chunk_recycles = graph.chunk_recycles;
 
   for (std::size_t i = 0; i < kNumMessageClasses; ++i) {
-    out.messages[i] = sim.meter().of(static_cast<sim::MessageClass>(i));
+    const auto cls = static_cast<sim::MessageClass>(i);
+    out.messages[i] = sim.meter().of(cls);
+    out.bytes[i] = sim.meter().bytes_of(cls);
   }
   out.messages_total = sim.meter().total();
+  out.bytes_total = sim.meter().total_bytes();
+
+  // The degree distribution needs only the graph; the delay/hop/load
+  // histograms need the recorder (enable_recorder), which a telemetry-armed
+  // harness installs before traffic. Without one they export zero counts.
+  for (const net::NodeId id : sim.graph().alive_nodes()) {
+    out.distributions.degree.observe(
+        static_cast<double>(sim.graph().degree(id)));
+  }
+  if (const sim::RunRecorder* recorder = sim.recorder()) {
+    for (std::size_t i = 0; i < kNumMessageClasses; ++i) {
+      out.distributions.delay[i] =
+          recorder->delay(static_cast<sim::MessageClass>(i));
+    }
+    out.distributions.walk_hops = recorder->walk_hops();
+    recorder->fill_load_histograms(sim.graph(), out.distributions.node_messages,
+                                   out.distributions.node_bytes);
+    out.max_node_messages = recorder->max_node_messages();
+    out.max_node_bytes = recorder->max_node_bytes();
+  }
   return out;
 }
 
@@ -112,6 +164,9 @@ SimCounters collect(const net::Graph& graph) {
   out.graph_joins = counters.joins;
   out.graph_leaves = counters.leaves;
   out.graph_chunk_recycles = counters.chunk_recycles;
+  for (const net::NodeId id : graph.alive_nodes()) {
+    out.distributions.degree.observe(static_cast<double>(graph.degree(id)));
+  }
   return out;
 }
 
@@ -135,6 +190,14 @@ void to_metrics(const SimCounters& counters, Metrics& metrics) {
     metrics.add(name, counters.messages[i]);
   }
   metrics.add("messages.total", counters.messages_total);
+  for (std::size_t i = 0; i < kNumMessageClasses; ++i) {
+    std::string name = "bytes.";
+    name += sim::to_string(static_cast<sim::MessageClass>(i));
+    metrics.add(name, counters.bytes[i]);
+  }
+  metrics.add("bytes.total", counters.bytes_total);
+  metrics.add("load.max_node_messages", counters.max_node_messages);
+  metrics.add("load.max_node_bytes", counters.max_node_bytes);
 }
 
 }  // namespace p2pse::obs

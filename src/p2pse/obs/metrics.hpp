@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "p2pse/sim/message_meter.hpp"
+#include "p2pse/support/fixed_histogram.hpp"
 
 namespace p2pse::net {
 class Graph;
@@ -84,6 +85,22 @@ class Metrics {
 inline constexpr std::size_t kNumMessageClasses =
     static_cast<std::size_t>(sim::MessageClass::kCount_);
 
+/// The exported `distributions` block: fixed-bucket histograms over the
+/// canonical bounds (sim/run_recorder.hpp). ALWAYS present — a run without
+/// a RunRecorder exports the same key set with zero counts, so the schema's
+/// shape never depends on which flags were set. Merge is elementwise bucket
+/// addition: commutative, hence invariant under replica completion order.
+struct Distributions {
+  std::vector<support::FixedHistogram> delay;  ///< one per MessageClass
+  support::FixedHistogram walk_hops;
+  support::FixedHistogram node_messages;
+  support::FixedHistogram node_bytes;
+  support::FixedHistogram degree;
+
+  Distributions();
+  Distributions& operator+=(const Distributions& other);
+};
+
 /// One run's deterministic counters: a pure function of (seed, parameters),
 /// never of wall-clock or thread count. Merged across replicas with +=.
 struct SimCounters {
@@ -111,7 +128,20 @@ struct SimCounters {
   std::uint64_t messages[kNumMessageClasses] = {};
   std::uint64_t messages_total = 0;
 
-  SimCounters& operator+=(const SimCounters& other) noexcept;
+  // Bytes on the wire per class + total: transmissions x wire size under
+  // the meter's installed size table (obs::MessageSizeModel). Sum-merged.
+  std::uint64_t bytes[kNumMessageClasses] = {};
+  std::uint64_t bytes_total = 0;
+
+  // Per-node load peaks (RunRecorder; 0 without one). MAX-merged across
+  // replicas: the reported figure is "the most loaded node of any replica",
+  // and max is commutative, so thread invariance holds.
+  std::uint64_t max_node_messages = 0;
+  std::uint64_t max_node_bytes = 0;
+
+  Distributions distributions;
+
+  SimCounters& operator+=(const SimCounters& other);
 };
 
 /// Snapshots one simulator's embedded counters + message meter into a

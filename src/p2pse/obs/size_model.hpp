@@ -1,0 +1,49 @@
+#pragma once
+// The wire-size model behind byte accounting (--sizes). Each protocol
+// message class costs a fixed per-transmission header plus a per-class
+// payload; the defaults live next to the meter
+// (sim::kWireHeaderBytes / sim::kWirePayloadBytes) and any entry is
+// overridable through the registry-style `sizes:` spec:
+//
+//   sizes                                  — the defaults
+//   sizes:header=48,walk_step=64           — override header + one payload
+//
+// Valid keys are `header` plus the seven MessageClass names
+// (walk_step, sample_reply, gossip_spread, poll_reply, aggregation_push,
+// aggregation_pull, control). Unknown keys are hard errors listing the
+// candidates — a typo'd size must never silently price a run with defaults.
+//
+// The model is pure accounting: installing any size table never changes a
+// draw, a message count, or a delivery outcome, only the bytes column.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "p2pse/sim/message_meter.hpp"
+
+namespace p2pse::obs {
+
+struct MessageSizeModel {
+  std::uint64_t header = sim::kWireHeaderBytes;
+  sim::WireSizeTable payload = sim::kWirePayloadBytes;
+
+  /// Parses "sizes" or "sizes:key=value,...". Hard errors on unknown keys
+  /// and malformed values.
+  [[nodiscard]] static MessageSizeModel parse(std::string_view text);
+
+  /// Valid spec keys for error messages.
+  [[nodiscard]] static std::string_view keys_help() noexcept;
+
+  /// Round-trip spec form: "sizes:header=...,walk_step=...,...".
+  /// parse(canonical()) reproduces the model exactly.
+  [[nodiscard]] std::string canonical() const;
+
+  /// The per-transmission table the meter consumes: header + payload per
+  /// class.
+  [[nodiscard]] sim::WireSizeTable wire_sizes() const noexcept;
+
+  [[nodiscard]] bool operator==(const MessageSizeModel&) const = default;
+};
+
+}  // namespace p2pse::obs

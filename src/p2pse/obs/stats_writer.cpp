@@ -17,6 +17,29 @@ void append_kv(std::string& out, std::string_view key, std::uint64_t value,
   out += std::to_string(value);
 }
 
+/// {"bounds":[...],"buckets":[...],"count":N} — deliberately no sum field:
+/// a double accumulator would depend on replica merge order.
+void append_histogram(std::string& out, std::string_view key,
+                      const support::FixedHistogram& hist,
+                      bool first = false) {
+  if (!first) out += ',';
+  out += '"';
+  out += key;
+  out += "\":{\"bounds\":[";
+  for (std::size_t i = 0; i < hist.bounds().size(); ++i) {
+    if (i > 0) out += ',';
+    out += json_number(hist.bounds()[i]);
+  }
+  out += "],\"buckets\":[";
+  for (std::size_t i = 0; i < hist.buckets().size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(hist.buckets()[i]);
+  }
+  out += "],\"count\":";
+  out += std::to_string(hist.count());
+  out += '}';
+}
+
 }  // namespace
 
 std::string json_escape(std::string_view text) {
@@ -80,6 +103,27 @@ std::string sim_section(std::string_view figure, std::string_view params,
               counters.messages[i], /*first=*/i == 0);
   }
   append_kv(out, "total", counters.messages_total);
+  out += "},\"bytes\":{";
+  for (std::size_t i = 0; i < kNumMessageClasses; ++i) {
+    append_kv(out, sim::to_string(static_cast<sim::MessageClass>(i)),
+              counters.bytes[i], /*first=*/i == 0);
+  }
+  append_kv(out, "total", counters.bytes_total);
+  out += "},\"load\":{";
+  append_kv(out, "max_node_messages", counters.max_node_messages,
+            /*first=*/true);
+  append_kv(out, "max_node_bytes", counters.max_node_bytes);
+  out += "},\"distributions\":{\"delay\":{";
+  for (std::size_t i = 0; i < kNumMessageClasses; ++i) {
+    append_histogram(out, sim::to_string(static_cast<sim::MessageClass>(i)),
+                     counters.distributions.delay[i], /*first=*/i == 0);
+  }
+  out += '}';
+  append_histogram(out, "walk_hops", counters.distributions.walk_hops);
+  append_histogram(out, "node_messages",
+                   counters.distributions.node_messages);
+  append_histogram(out, "node_bytes", counters.distributions.node_bytes);
+  append_histogram(out, "degree", counters.distributions.degree);
   out += "}}";
   return out;
 }

@@ -9,8 +9,18 @@
 //            thread count, peak RSS, wall-clock seconds per phase. Expected
 //            to differ between runs.
 //
-// Schema: {"schema":"p2pse-run-stats","version":1,"sim":{...},"host":{...}}.
+// Schema: {"schema":"p2pse-run-stats","version":2,"sim":{...},"host":{...}}.
 // Bump kStatsVersion on any key change; consumers select on both fields.
+// tests/obs/schema_keys_test.cpp snapshots the sim section's key set per
+// version — adding or renaming a key without a bump fails there.
+//
+// Version history:
+//   1 — events/channel/graph/messages counter blocks.
+//   2 — adds "bytes" (per-class + total wire bytes), "load" (per-node
+//       peaks) and "distributions" (fixed-bucket histograms: per-class
+//       delay, walk hops, per-node load in messages and bytes, degree).
+//       Histograms serialize bounds/buckets/count only — no floating-point
+//       sum, so replica merges stay byte-identical at any thread count.
 
 #include <cstdint>
 #include <map>
@@ -22,7 +32,7 @@
 namespace p2pse::obs {
 
 inline constexpr std::string_view kStatsSchema = "p2pse-run-stats";
-inline constexpr int kStatsVersion = 1;
+inline constexpr int kStatsVersion = 2;
 
 /// JSON string-body escaping: quotes, backslashes, and control characters
 /// (the latter as \uXXXX, with \n \r \t shorthands).

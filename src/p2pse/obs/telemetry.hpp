@@ -11,10 +11,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 
+#include "p2pse/obs/flight_recorder.hpp"
 #include "p2pse/obs/metrics.hpp"
 #include "p2pse/obs/trace_log.hpp"
 
@@ -54,10 +56,22 @@ class RunTelemetry {
   /// enable_progress() was called.
   void progress(std::string_view message);
 
+  /// Creates the flight-recorder ring (--flight-record N). Call once,
+  /// before any replica runs; the harness installs the returned recorder on
+  /// every replica simulator via set_flight_recorder.
+  void enable_flight(std::size_t capacity) {
+    flight_ = std::make_unique<FlightRecorder>(capacity);
+  }
+  /// The shared ring; nullptr unless enable_flight() was called.
+  [[nodiscard]] FlightRecorder* flight() const noexcept {
+    return flight_.get();
+  }
+
  private:
   mutable std::mutex mutex_;
   SimCounters sim_;
   TraceLog trace_;
+  std::unique_ptr<FlightRecorder> flight_;
   std::atomic<bool> progress_enabled_{false};
   bool progress_started_ = false;
   std::chrono::steady_clock::time_point last_progress_{};

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "p2pse/obs/size_model.hpp"
 #include "p2pse/obs/telemetry.hpp"
 #include "p2pse/support/sharding.hpp"
 
@@ -41,6 +42,22 @@ void arm_shard_spans(support::ShardExecutor& exec,
             telemetry->span("sim-shard-" + std::to_string(shard),
                             static_cast<int>(replica) + 1));
       });
+}
+
+/// Installs the observability hooks on one replica simulator: a wire-size
+/// table when `sizes` is non-empty, and — when a telemetry sink is attached
+/// — the distribution recorder plus the shared flight ring. Never touches an
+/// RNG stream; a run with these hooks is byte-identical to one without.
+void arm_obs(sim::Simulator& sim, const std::string& sizes,
+             obs::RunTelemetry* telemetry) {
+  if (!sizes.empty()) {
+    sim.meter().set_wire_sizes(
+        obs::MessageSizeModel::parse(sizes).wire_sizes());
+  }
+  if (telemetry != nullptr) {
+    sim.enable_recorder();
+    sim.set_flight_recorder(telemetry->flight());
+  }
 }
 
 }  // namespace
@@ -81,11 +98,11 @@ Series ScenarioRunner::run(const est::Estimator& prototype,
           return instance->estimate_point(sim, initiator, rng);
         },
         replica, options.network, options.topology, options.telemetry,
-        options.sim_workers);
+        options.sim_workers, options.sizes);
   }
   return run_epochs(*instance, options.rounds_per_unit, replica,
                     options.network, options.topology, options.telemetry,
-                    options.sim_workers);
+                    options.sim_workers, options.sizes);
 }
 
 Series ScenarioRunner::run_point(std::size_t estimations,
@@ -94,7 +111,8 @@ Series ScenarioRunner::run_point(std::size_t estimations,
                                  const sim::NetworkConfig& network,
                                  const topo::TopologyConfig& topology,
                                  obs::RunTelemetry* telemetry,
-                                 std::size_t sim_workers) const {
+                                 std::size_t sim_workers,
+                                 const std::string& sizes) const {
   if (estimations == 0) return {};
   const obs::Span span = replica_span(telemetry, "simulate", replica);
   support::ShardExecutor shard_exec(std::max<std::size_t>(1, sim_workers));
@@ -108,6 +126,7 @@ Series ScenarioRunner::run_point(std::size_t estimations,
   obs::Span build_span = replica_span(telemetry, "graph-build", replica);
   sim::Simulator sim(factory_(graph_rng), root.split("sim").seed());
   sim.set_network(network);
+  arm_obs(sim, sizes, telemetry);
   build_span = obs::Span{};
   obs::Span embed_span = replica_span(telemetry, "topo-embed", replica);
   // No-op (and no draws) for a flat config; sharded across the budget
@@ -154,7 +173,8 @@ Series ScenarioRunner::run_epochs(est::Estimator& estimator,
                                   const sim::NetworkConfig& network,
                                   const topo::TopologyConfig& topology,
                                   obs::RunTelemetry* telemetry,
-                                  std::size_t sim_workers) const {
+                                  std::size_t sim_workers,
+                                  const std::string& sizes) const {
   if (rounds_per_unit <= 0.0) {
     throw std::invalid_argument("ScenarioRunner: rounds_per_unit must be > 0");
   }
@@ -175,6 +195,7 @@ Series ScenarioRunner::run_epochs(est::Estimator& estimator,
   obs::Span build_span = replica_span(telemetry, "graph-build", replica);
   sim::Simulator sim(factory_(graph_rng), root.split("sim").seed());
   sim.set_network(network);
+  arm_obs(sim, sizes, telemetry);
   build_span = obs::Span{};
   obs::Span embed_span = replica_span(telemetry, "topo-embed", replica);
   // No-op (and no draws) for a flat config; sharded across the budget

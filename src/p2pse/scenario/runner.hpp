@@ -81,6 +81,11 @@ class ScenarioRunner {
     /// replica's embedding draws from its own sim's split("topo")
     /// substream, so churn-joined nodes embed deterministically.
     topo::TopologyConfig topology{};
+    /// Wire-size spec ("sizes:header=48,..."; obs::MessageSizeModel grammar)
+    /// installed on every replica meter. Pure accounting — prices the bytes
+    /// counters only; every count, draw and delivery is byte-identical
+    /// under any size table. Empty keeps the built-in sizes.
+    std::string sizes{};
     /// Optional telemetry sink (non-owning, may be null). When set, each
     /// replica run opens a "simulate" trace span, feeds the progress
     /// heartbeat, and snapshots its counters (obs::collect) on completion.
@@ -119,7 +124,7 @@ class ScenarioRunner {
       const sim::NetworkConfig& network = sim::NetworkConfig{},
       const topo::TopologyConfig& topology = topo::TopologyConfig{},
       obs::RunTelemetry* telemetry = nullptr,
-      std::size_t sim_workers = 1) const;
+      std::size_t sim_workers = 1, const std::string& sizes = {}) const;
 
   [[nodiscard]] const Dynamics& dynamics() const noexcept {
     return *dynamics_;
@@ -132,7 +137,8 @@ class ScenarioRunner {
                                   const sim::NetworkConfig& network,
                                   const topo::TopologyConfig& topology,
                                   obs::RunTelemetry* telemetry,
-                                  std::size_t sim_workers) const;
+                                  std::size_t sim_workers,
+                                  const std::string& sizes) const;
   [[nodiscard]] net::NodeId ensure_initiator(const net::Graph& graph,
                                              net::NodeId current,
                                              support::RngStream& rng) const;

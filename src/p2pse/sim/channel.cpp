@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "p2pse/sim/run_recorder.hpp"
 #include "p2pse/support/csv.hpp"
 #include "p2pse/support/spec_reader.hpp"
 #include "p2pse/topo/topology.hpp"
@@ -171,8 +172,45 @@ void Channel::require_iid(const char* method) const {
   }
 }
 
+void Channel::record(const MessageMeter& meter, MessageClass cls,
+                     net::NodeId from, net::NodeId to,
+                     const Delivery& delivery) {
+  const std::uint64_t wire = meter.wire_size(cls);
+  recorder_->on_send(from, delivery.transmissions, wire);
+  if (delivery.delivered) {
+    recorder_->on_delivered(cls, to, delivery.latency, wire);
+  }
+}
+
 Channel::Delivery Channel::send(MessageMeter& meter, MessageClass cls) {
   require_iid("send");
+  const Delivery out = send_iid(meter, cls);
+  if (recorder_ != nullptr) {
+    record(meter, cls, net::kInvalidNode, net::kInvalidNode, out);
+  }
+  return out;
+}
+
+Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls) {
+  require_iid("send_arq");
+  const Delivery out = send_arq_iid(meter, cls);
+  if (recorder_ != nullptr) {
+    record(meter, cls, net::kInvalidNode, net::kInvalidNode, out);
+  }
+  return out;
+}
+
+Channel::Delivery Channel::send_reliable(MessageMeter& meter,
+                                         MessageClass cls) {
+  require_iid("send_reliable");
+  const Delivery out = send_reliable_iid(meter, cls);
+  if (recorder_ != nullptr) {
+    record(meter, cls, net::kInvalidNode, net::kInvalidNode, out);
+  }
+  return out;
+}
+
+Channel::Delivery Channel::send_iid(MessageMeter& meter, MessageClass cls) {
   meter.count(cls);
   ++counters_.sends_iid;
   if (ideal_) return Delivery{};
@@ -186,8 +224,8 @@ Channel::Delivery Channel::send(MessageMeter& meter, MessageClass cls) {
   return out;
 }
 
-Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls) {
-  require_iid("send_arq");
+Channel::Delivery Channel::send_arq_iid(MessageMeter& meter,
+                                        MessageClass cls) {
   if (ideal_) {
     meter.count(cls);
     ++counters_.sends_iid;
@@ -212,9 +250,8 @@ Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls) {
   return out;
 }
 
-Channel::Delivery Channel::send_reliable(MessageMeter& meter,
-                                         MessageClass cls) {
-  require_iid("send_reliable");
+Channel::Delivery Channel::send_reliable_iid(MessageMeter& meter,
+                                             MessageClass cls) {
   if (ideal_) {
     meter.count(cls);
     ++counters_.sends_iid;
@@ -281,7 +318,11 @@ inline void check_endpoints(net::NodeId, net::NodeId) {}
 
 Channel::Delivery Channel::send(MessageMeter& meter, MessageClass cls,
                                 net::NodeId from, net::NodeId to) {
-  if (topo_ == nullptr) return send(meter, cls);
+  if (topo_ == nullptr) {
+    const Delivery out = send_iid(meter, cls);
+    if (recorder_ != nullptr) record(meter, cls, from, to, out);
+    return out;
+  }
   check_endpoints(from, to);
   meter.count(cls);
   ++counters_.sends_link;
@@ -291,15 +332,20 @@ Channel::Delivery Channel::send(MessageMeter& meter, MessageClass cls,
   if (rng_.bernoulli(loss)) {
     ++counters_.drops;
     out.delivered = false;
-    return out;
+  } else {
+    out.latency = draw_link_latency(link);
   }
-  out.latency = draw_link_latency(link);
+  if (recorder_ != nullptr) record(meter, cls, from, to, out);
   return out;
 }
 
 Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls,
                                     net::NodeId from, net::NodeId to) {
-  if (topo_ == nullptr) return send_arq(meter, cls);
+  if (topo_ == nullptr) {
+    const Delivery out = send_arq_iid(meter, cls);
+    if (recorder_ != nullptr) record(meter, cls, from, to, out);
+    return out;
+  }
   check_endpoints(from, to);
   const topo::Topology::LinkParams link = topo_->link(from, to);
   const double loss = compose_loss(config_.loss, link.loss);
@@ -312,6 +358,7 @@ Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls,
     if (attempt > 0) ++counters_.retransmits;
     if (!rng_.bernoulli(loss)) {
       out.latency += draw_link_latency(link);
+      if (recorder_ != nullptr) record(meter, cls, from, to, out);
       return out;
     }
     ++counters_.drops;
@@ -319,12 +366,17 @@ Channel::Delivery Channel::send_arq(MessageMeter& meter, MessageClass cls,
   }
   ++counters_.arq_timeouts;
   out.delivered = false;
+  if (recorder_ != nullptr) record(meter, cls, from, to, out);
   return out;
 }
 
 Channel::Delivery Channel::send_reliable(MessageMeter& meter, MessageClass cls,
                                          net::NodeId from, net::NodeId to) {
-  if (topo_ == nullptr) return send_reliable(meter, cls);
+  if (topo_ == nullptr) {
+    const Delivery out = send_reliable_iid(meter, cls);
+    if (recorder_ != nullptr) record(meter, cls, from, to, out);
+    return out;
+  }
   check_endpoints(from, to);
   const topo::Topology::LinkParams link = topo_->link(from, to);
   const double loss = compose_loss(config_.loss, link.loss);
@@ -340,6 +392,7 @@ Channel::Delivery Channel::send_reliable(MessageMeter& meter, MessageClass cls,
     out.latency += config_.timeout;
   }
   out.latency += draw_link_latency(link);
+  if (recorder_ != nullptr) record(meter, cls, from, to, out);
   return out;
 }
 

@@ -36,6 +36,8 @@
 
 namespace p2pse::sim {
 
+class RunRecorder;
+
 /// Parsed `net:` spec — the delivery layer's five knobs.
 struct NetworkConfig {
   /// Per-transmission drop probability in [0, 1].
@@ -127,6 +129,14 @@ class Channel {
   /// Lifetime telemetry counters (see obs::collect).
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
+  /// Installs the distribution recorder (sim::RunRecorder): per-class delay
+  /// histograms and per-node sent/received tallies, recorded once per
+  /// logical send. Non-owning — the Simulator owns the recorder and
+  /// re-installs it across set_network. Null (the default) disables
+  /// recording at the cost of one branch per send.
+  void set_recorder(RunRecorder* recorder) noexcept { recorder_ = recorder; }
+  [[nodiscard]] RunRecorder* recorder() const noexcept { return recorder_; }
+
   /// True when some transmission can be dropped — by the i.i.d. loss knob
   /// or by any per-link class/region loss. The poll protocols use this to
   /// decide whether the initiator must hold its reply window open for the
@@ -165,11 +175,24 @@ class Channel {
   [[nodiscard]] double draw_link_latency(const topo::Topology::LinkParams& link);
   void require_iid(const char* method) const;
 
+  /// The i.i.d. delivery bodies, shared by the endpoint-less public sends
+  /// and the endpoint-taking fallbacks (topology absent). They draw and
+  /// count but never record — the public wrappers record with whatever
+  /// endpoint knowledge they have.
+  Delivery send_iid(MessageMeter& meter, MessageClass cls);
+  Delivery send_arq_iid(MessageMeter& meter, MessageClass cls);
+  Delivery send_reliable_iid(MessageMeter& meter, MessageClass cls);
+  /// One logical send into the recorder: all transmissions leave `from`,
+  /// the delivered final one reaches `to`. Called with recorder_ non-null.
+  void record(const MessageMeter& meter, MessageClass cls, net::NodeId from,
+              net::NodeId to, const Delivery& delivery);
+
   NetworkConfig config_{};
   support::RngStream rng_{0};
   bool ideal_ = true;
   topo::Topology* topo_ = nullptr;
   Counters counters_{};
+  RunRecorder* recorder_ = nullptr;
 };
 
 }  // namespace p2pse::sim

@@ -22,4 +22,12 @@ std::uint64_t MessageMeter::total() const noexcept {
   return std::accumulate(counters_.begin(), counters_.end(), std::uint64_t{0});
 }
 
+std::uint64_t MessageMeter::total_bytes() const noexcept {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    out += counters_[i] * sizes_[i];
+  }
+  return out;
+}
+
 }  // namespace p2pse::sim

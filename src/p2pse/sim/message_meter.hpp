@@ -2,6 +2,12 @@
 // Message accounting — the paper's overhead metric is "the number of
 // messages sent to produce the estimation" (§IV-E). Counters are grouped by
 // message class so spreading, reply and walk traffic can be reported apart.
+//
+// Byte accounting rides on the same counters: every class has one wire size
+// (a fixed header plus a per-class payload — nominal UDP datagram sizes,
+// overridable via the `sizes:` spec, see obs::MessageSizeModel), so byte
+// totals are count x size, computed at read time. The hot send path never
+// does byte arithmetic.
 
 #include <array>
 #include <cstdint>
@@ -22,6 +28,32 @@ enum class MessageClass : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(MessageClass cls) noexcept;
 
+/// Per-transmission wire sizes, indexed by MessageClass. One entry per
+/// class: header + payload, in bytes.
+using WireSizeTable =
+    std::array<std::uint64_t, static_cast<std::size_t>(MessageClass::kCount_)>;
+
+/// Default fixed per-message header: IPv4 (20) + UDP (8). Every class pays
+/// it once per transmission.
+inline constexpr std::uint64_t kWireHeaderBytes = 28;
+
+/// Default per-class payload bytes, in MessageClass order. Nominal sizes
+/// for the protocols' actual fields: a walk step carries initiator id +
+/// timer + nonce (16), a sample reply node id + nonce (12), a gossip spread
+/// the estimate vector digest (24), a poll reply a single bit + nonce (8),
+/// an aggregation half-exchange value + weight (16), a control message a
+/// tag (8). Override any of them with the `sizes:` spec.
+inline constexpr WireSizeTable kWirePayloadBytes = {16, 12, 24, 8, 16, 16, 8};
+
+/// header + payload for every class — the table a fresh meter starts with.
+[[nodiscard]] constexpr WireSizeTable default_wire_sizes() noexcept {
+  WireSizeTable out{};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = kWireHeaderBytes + kWirePayloadBytes[i];
+  }
+  return out;
+}
+
 class MessageMeter {
  public:
   void count(MessageClass cls, std::uint64_t n = 1) noexcept {
@@ -40,9 +72,24 @@ class MessageMeter {
     return total() - baseline_total;
   }
 
+  /// Installs the wire-size model (obs::MessageSizeModel::wire_sizes()).
+  /// Purely an accounting lens: changing sizes never changes a draw, a
+  /// count, or a delivery.
+  void set_wire_sizes(const WireSizeTable& sizes) noexcept { sizes_ = sizes; }
+  [[nodiscard]] std::uint64_t wire_size(MessageClass cls) const noexcept {
+    return sizes_[static_cast<std::size_t>(cls)];
+  }
+
+  /// Bytes on the wire for one class: transmissions x wire size.
+  [[nodiscard]] std::uint64_t bytes_of(MessageClass cls) const noexcept {
+    return of(cls) * wire_size(cls);
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+
  private:
   std::array<std::uint64_t, static_cast<std::size_t>(MessageClass::kCount_)>
       counters_{};
+  WireSizeTable sizes_ = default_wire_sizes();
 };
 
 }  // namespace p2pse::sim

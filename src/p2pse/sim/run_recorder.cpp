@@ -1,0 +1,63 @@
+#include "p2pse/sim/run_recorder.hpp"
+
+#include <algorithm>
+
+namespace p2pse::sim {
+
+// Edges are powers-of-two / decades over each quantity's plausible span:
+// wide enough that real runs populate the interior, coarse enough that the
+// exported block stays small. Changing any of these is a schema change —
+// bump obs::kStatsVersion.
+
+std::vector<double> delay_bounds() {
+  return {0, 1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500};
+}
+
+std::vector<double> walk_hop_bounds() {
+  return {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000};
+}
+
+std::vector<double> node_message_bounds() {
+  return {0, 1, 10, 100, 1000, 10000, 100000, 1000000};
+}
+
+std::vector<double> node_byte_bounds() {
+  return {0,       1024,     10240,     102400,
+          1048576, 10485760, 104857600, 1073741824};
+}
+
+std::vector<double> degree_bounds() {
+  return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256};
+}
+
+RunRecorder::RunRecorder() : walk_hops_(walk_hop_bounds()) {
+  delay_.reserve(static_cast<std::size_t>(MessageClass::kCount_));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(MessageClass::kCount_);
+       ++i) {
+    delay_.emplace_back(delay_bounds());
+  }
+}
+
+std::uint64_t RunRecorder::max_node_messages() const noexcept {
+  std::uint64_t out = 0;
+  for (const NodeLoad& load : loads_) out = std::max(out, load.messages());
+  return out;
+}
+
+std::uint64_t RunRecorder::max_node_bytes() const noexcept {
+  std::uint64_t out = 0;
+  for (const NodeLoad& load : loads_) out = std::max(out, load.bytes());
+  return out;
+}
+
+void RunRecorder::fill_load_histograms(const net::Graph& graph,
+                                       support::FixedHistogram& messages,
+                                       support::FixedHistogram& bytes) const {
+  for (const net::NodeId id : graph.alive_nodes()) {
+    const NodeLoad load = id < loads_.size() ? loads_[id] : NodeLoad{};
+    messages.observe(static_cast<double>(load.messages()));
+    bytes.observe(static_cast<double>(load.bytes()));
+  }
+}
+
+}  // namespace p2pse::sim

@@ -5,6 +5,10 @@ namespace p2pse::sim {
 void Simulator::run_until(Time until) {
   while (!events_.empty() && events_.next_time() <= until) {
     now_ = events_.next_time();
+    if (flight_ != nullptr) {
+      flight_->record(now_, FlightSink::Kind::kEventFired, net::kInvalidNode,
+                      MessageClass::kControl);
+    }
     events_.run_next();
   }
   if (until > now_) now_ = until;
@@ -13,6 +17,10 @@ void Simulator::run_until(Time until) {
 void Simulator::run_all() {
   while (!events_.empty()) {
     now_ = events_.next_time();
+    if (flight_ != nullptr) {
+      flight_->record(now_, FlightSink::Kind::kEventFired, net::kInvalidNode,
+                      MessageClass::kControl);
+    }
     events_.run_next();
   }
 }

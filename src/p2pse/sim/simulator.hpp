@@ -13,7 +13,9 @@
 #include "p2pse/net/graph.hpp"
 #include "p2pse/sim/channel.hpp"
 #include "p2pse/sim/event_queue.hpp"
+#include "p2pse/sim/flight_sink.hpp"
 #include "p2pse/sim/message_meter.hpp"
+#include "p2pse/sim/run_recorder.hpp"
 #include "p2pse/support/rng.hpp"
 #include "p2pse/topo/topology.hpp"
 
@@ -37,8 +39,9 @@ class Simulator {
   Simulator(Simulator&& other) noexcept
       : graph_(std::move(other.graph_)), events_(std::move(other.events_)),
         meter_(other.meter_), channel_(std::move(other.channel_)),
-        topology_(std::move(other.topology_)), rng_(other.rng_),
-        now_(other.now_) {
+        topology_(std::move(other.topology_)),
+        recorder_(std::move(other.recorder_)), flight_(other.flight_),
+        rng_(other.rng_), now_(other.now_) {
     if (topology_) topology_->attach(graph_);
   }
   Simulator& operator=(Simulator&& other) noexcept {
@@ -48,6 +51,8 @@ class Simulator {
       meter_ = other.meter_;
       channel_ = std::move(other.channel_);
       topology_ = std::move(other.topology_);
+      recorder_ = std::move(other.recorder_);
+      flight_ = other.flight_;
       rng_ = other.rng_;
       now_ = other.now_;
       if (topology_) topology_->attach(graph_);
@@ -75,6 +80,7 @@ class Simulator {
   void set_network(const NetworkConfig& config) {
     channel_ = Channel(config, rng_.split("channel"));
     if (topology_) channel_.set_topology(topology_.get());
+    channel_.set_recorder(recorder_.get());
   }
 
   /// Installs the per-link topology layer. The embedding draws from a
@@ -109,27 +115,62 @@ class Simulator {
     return topology_.get();
   }
 
+  /// Installs (idempotently) the distribution recorder and wires it into
+  /// the current channel. Heap-owned so the channel's raw pointer survives
+  /// Simulator moves; survives set_network (which re-installs it). The
+  /// recorder never draws — a run with one is byte-identical to one
+  /// without.
+  void enable_recorder() {
+    if (!recorder_) recorder_ = std::make_unique<RunRecorder>();
+    channel_.set_recorder(recorder_.get());
+  }
+  /// The installed recorder; nullptr until enable_recorder().
+  [[nodiscard]] RunRecorder* recorder() noexcept { return recorder_.get(); }
+  [[nodiscard]] const RunRecorder* recorder() const noexcept {
+    return recorder_.get();
+  }
+
+  /// One completed random walk of `hops` hops (walk estimators report
+  /// their walk lengths here; no-op without a recorder).
+  void record_walk_hops(std::uint64_t hops) {
+    if (recorder_) recorder_->on_walk(hops);
+  }
+
+  /// Attaches the flight recorder ring (obs::FlightRecorder via the
+  /// sim-side FlightSink interface). Non-owning; null detaches. Purely
+  /// observational — never perturbs a draw or a delivery.
+  void set_flight_recorder(FlightSink* sink) noexcept { flight_ = sink; }
+  [[nodiscard]] FlightSink* flight_recorder() const noexcept {
+    return flight_;
+  }
+
   /// Delivery shorthands: count on the meter, route through the channel.
   /// The endpoint-taking forms are what the protocols use; under a per-link
   /// topology the endpoint-less forms throw (see Channel).
   Channel::Delivery send(MessageClass cls) {
+    flight_send(cls, net::kInvalidNode);
     return channel_.send(meter_, cls);
   }
   Channel::Delivery send_arq(MessageClass cls) {
+    flight_send(cls, net::kInvalidNode);
     return channel_.send_arq(meter_, cls);
   }
   Channel::Delivery send_reliable(MessageClass cls) {
+    flight_send(cls, net::kInvalidNode);
     return channel_.send_reliable(meter_, cls);
   }
   Channel::Delivery send(MessageClass cls, net::NodeId from, net::NodeId to) {
+    flight_send(cls, from);
     return channel_.send(meter_, cls, from, to);
   }
   Channel::Delivery send_arq(MessageClass cls, net::NodeId from,
                              net::NodeId to) {
+    flight_send(cls, from);
     return channel_.send_arq(meter_, cls, from, to);
   }
   Channel::Delivery send_reliable(MessageClass cls, net::NodeId from,
                                   net::NodeId to) {
+    flight_send(cls, from);
     return channel_.send_reliable(meter_, cls, from, to);
   }
 
@@ -160,6 +201,12 @@ class Simulator {
   }
 
  private:
+  void flight_send(MessageClass cls, net::NodeId from) {
+    if (flight_ != nullptr) {
+      flight_->record(now_, FlightSink::Kind::kSend, from, cls);
+    }
+  }
+
   net::Graph graph_;
   EventQueue events_;
   MessageMeter meter_;
@@ -168,6 +215,10 @@ class Simulator {
   /// stable; declared after graph_/channel_ so it detaches (destructor)
   /// while both are still alive.
   std::unique_ptr<topo::Topology> topology_;
+  /// Heap-allocated for the same reason: the channel holds a raw pointer
+  /// to it across Simulator moves and set_network swaps.
+  std::unique_ptr<RunRecorder> recorder_;
+  FlightSink* flight_ = nullptr;
   support::RngStream rng_;
   Time now_ = 0.0;
 };

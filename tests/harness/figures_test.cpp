@@ -165,7 +165,15 @@ TEST(Figures, Table1HasFourRows) {
   const FigureReport r = run_figure("table1", p);
   EXPECT_TRUE(r.series.empty());
   ASSERT_EQ(r.table_rows.size(), 4u);
-  EXPECT_EQ(r.table_columns.size(), 6u);
+  ASSERT_EQ(r.table_columns.size(), 8u);
+  EXPECT_EQ(r.table_columns[5], "overhead (bytes)");
+  EXPECT_EQ(r.table_columns[6], "max node load");
+  // Each row carries a non-empty bytes and max-load cell.
+  for (const auto& row : r.table_rows) {
+    ASSERT_EQ(row.size(), 8u);
+    EXPECT_FALSE(row[5].empty());
+    EXPECT_FALSE(row[6].empty());
+  }
 }
 
 TEST(Figures, AblationLSweepShowsSublinearCost) {

@@ -35,19 +35,37 @@ std::string sim_json(const FigureParams& base, std::size_t threads) {
 }
 
 // ./fig01_sc_static_100k --nodes 1200 --estimations 6 --replicas 2 --seed 42
-//                        --threads 2 --stats-json ...   (the `sim` object)
+//                        --threads 2 --stats-json ...   (the `sim` object,
+//                        schema version 2: bytes/load/distributions blocks)
 const char kGoldenFig01Sim[] =
-    "{\"figure\":\"fig_sc_static\","
-    "\"params\":\"nodes=1200 l=200 T=10 estimations=6 replicas=2 seed=42\","
-    "\"replicas\":2,"
-    "\"events\":{\"scheduled\":0,\"fired\":0,\"spilled_pool\":0,"
-    "\"spilled_heap\":0},"
-    "\"channel\":{\"sends_iid\":683320,\"sends_link\":0,\"drops\":0,"
-    "\"retransmits\":0,\"arq_timeouts\":0},"
-    "\"graph\":{\"joins\":2400,\"leaves\":0,\"chunk_recycles\":463},"
-    "\"messages\":{\"walk_step\":674129,\"sample_reply\":9191,"
-    "\"gossip_spread\":0,\"poll_reply\":0,\"aggregation_push\":0,"
-    "\"aggregation_pull\":0,\"control\":0,\"total\":683320}}";
+    "{\"figure\":\"fig_sc_static\",\"params\":\"nodes=1200 l=200 T=10 estimations=6 replicas=2 seed=42\","
+    "\"replicas\":2,\"events\":{\"scheduled\":0,\"fired\":0,\"spilled_pool\":0,"
+    "\"spilled_heap\":0},\"channel\":{\"sends_iid\":683320,\"sends_link\":0,\"drops\":0,"
+    "\"retransmits\":0,\"arq_timeouts\":0},\"graph\":{\"joins\":2400,\"leaves\":0,"
+    "\"chunk_recycles\":463},\"messages\":{\"walk_step\":674129,\"sample_reply\":9191,"
+    "\"gossip_spread\":0,\"poll_reply\":0,\"aggregation_push\":0,\"aggregation_pull\":0,"
+    "\"control\":0,\"total\":683320},\"bytes\":{\"walk_step\":29661676,\"sample_reply\":367640,"
+    "\"gossip_spread\":0,\"poll_reply\":0,\"aggregation_push\":0,\"aggregation_pull\":0,"
+    "\"control\":0,\"total\":30029316},\"load\":{\"max_node_messages\":11204,"
+    "\"max_node_bytes\":474640},\"distributions\":{\"delay\":{\"walk_step\":{\"bounds\":[0,"
+    "1,5,10,25,50,100,250,500,1000,2500],\"buckets\":[674129,0,0,0,0,0,"
+    "0,0,0,0,0,0],\"count\":674129},\"sample_reply\":{\"bounds\":[0,1,5,10,"
+    "25,50,100,250,500,1000,2500],\"buckets\":[9191,0,0,0,0,0,0,0,0,0,0,"
+    "0],\"count\":9191},\"gossip_spread\":{\"bounds\":[0,1,5,10,25,50,100,250,"
+    "500,1000,2500],\"buckets\":[0,0,0,0,0,0,0,0,0,0,0,0],\"count\":0},\"poll_reply\":{\"bounds\":[0,"
+    "1,5,10,25,50,100,250,500,1000,2500],\"buckets\":[0,0,0,0,0,0,0,0,0,"
+    "0,0,0],\"count\":0},\"aggregation_push\":{\"bounds\":[0,1,5,10,25,50,100,"
+    "250,500,1000,2500],\"buckets\":[0,0,0,0,0,0,0,0,0,0,0,0],\"count\":0},"
+    "\"aggregation_pull\":{\"bounds\":[0,1,5,10,25,50,100,250,500,1000,2500],"
+    "\"buckets\":[0,0,0,0,0,0,0,0,0,0,0,0],\"count\":0},\"control\":{\"bounds\":[0,"
+    "1,5,10,25,50,100,250,500,1000,2500],\"buckets\":[0,0,0,0,0,0,0,0,0,"
+    "0,0,0],\"count\":0}},\"walk_hops\":{\"bounds\":[1,2,5,10,20,50,100,200,"
+    "500,1000],\"buckets\":[0,0,0,0,0,133,9019,39,0,0,0],\"count\":9191},"
+    "\"node_messages\":{\"bounds\":[0,1,10,100,1000,10000,1e+05,1e+06],\"buckets\":[0,"
+    "0,0,19,2333,46,2,0,0],\"count\":2400},\"node_bytes\":{\"bounds\":[0,1024,"
+    "10240,102400,1048576,10485760,104857600,1073741824],\"buckets\":[0,"
+    "0,171,2217,12,0,0,0,0],\"count\":2400},\"degree\":{\"bounds\":[0,1,2,4,"
+    "8,16,32,64,128,256],\"buckets\":[0,19,61,353,1020,947,0,0,0,0,0],\"count\":2400}}}";
 
 TEST(RunStats, Fig01SimSectionMatchesGoldenByteForByte) {
   EXPECT_EQ(sim_json(reduced_fig01_params(), 2), kGoldenFig01Sim);

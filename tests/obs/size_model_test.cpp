@@ -1,0 +1,63 @@
+#include "p2pse/obs/size_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace p2pse::obs {
+namespace {
+
+TEST(MessageSizeModel, DefaultsMatchTheMeterConstants) {
+  const MessageSizeModel model;
+  EXPECT_EQ(model.header, sim::kWireHeaderBytes);
+  EXPECT_EQ(model.payload, sim::kWirePayloadBytes);
+  const sim::WireSizeTable sizes = model.wire_sizes();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], sim::kWireHeaderBytes + sim::kWirePayloadBytes[i]);
+  }
+  EXPECT_EQ(sizes, sim::default_wire_sizes());
+}
+
+TEST(MessageSizeModel, ParseBareSpecIsTheDefaultModel) {
+  EXPECT_EQ(MessageSizeModel::parse("sizes"), MessageSizeModel{});
+  EXPECT_EQ(MessageSizeModel::parse("sizes:"), MessageSizeModel{});
+}
+
+TEST(MessageSizeModel, ParseOverridesHeaderAndPerClassPayload) {
+  const MessageSizeModel model =
+      MessageSizeModel::parse("sizes:header=48,walk_step=64,control=1");
+  EXPECT_EQ(model.header, 48u);
+  EXPECT_EQ(model.payload[static_cast<std::size_t>(
+                sim::MessageClass::kWalkStep)],
+            64u);
+  EXPECT_EQ(model.payload[static_cast<std::size_t>(
+                sim::MessageClass::kControl)],
+            1u);
+  // Untouched classes keep their defaults.
+  EXPECT_EQ(model.payload[static_cast<std::size_t>(
+                sim::MessageClass::kSampleReply)],
+            sim::kWirePayloadBytes[static_cast<std::size_t>(
+                sim::MessageClass::kSampleReply)]);
+  EXPECT_EQ(model.wire_sizes()[static_cast<std::size_t>(
+                sim::MessageClass::kWalkStep)],
+            48u + 64u);
+}
+
+TEST(MessageSizeModel, ParseRejectsUnknownKeysAndWrongName) {
+  EXPECT_THROW((void)MessageSizeModel::parse("sizes:bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)MessageSizeModel::parse("net:loss=0.1"),
+               std::invalid_argument);
+}
+
+TEST(MessageSizeModel, CanonicalRoundTrips) {
+  const MessageSizeModel model =
+      MessageSizeModel::parse("sizes:header=48,aggregation_push=99");
+  EXPECT_EQ(MessageSizeModel::parse(model.canonical()), model);
+  // Canonical form of the defaults round-trips too.
+  const MessageSizeModel defaults;
+  EXPECT_EQ(MessageSizeModel::parse(defaults.canonical()), defaults);
+}
+
+}  // namespace
+}  // namespace p2pse::obs

@@ -52,9 +52,15 @@ TEST(StatsWriter, SimSectionRendersAllCounterGroups) {
   counters.graph_joins = 10;
   counters.messages[0] = 25;  // walk_step
   counters.messages_total = 25;
+  counters.bytes[0] = 1100;  // 25 walk_steps at 44 bytes
+  counters.bytes_total = 1100;
+  counters.max_node_messages = 5;
+  counters.max_node_bytes = 220;
   const std::string json = sim_section("fig_x", "nodes=10 seed=1", counters);
-  EXPECT_EQ(
-      json,
+  // The scalar blocks are exact; the (long) distributions block is covered
+  // shape-wise here and byte-for-byte by the fig01 golden + the schema
+  // key-set snapshot (schema_keys_test.cpp).
+  const std::string scalar_prefix =
       "{\"figure\":\"fig_x\",\"params\":\"nodes=10 seed=1\",\"replicas\":2,"
       "\"events\":{\"scheduled\":100,\"fired\":90,\"spilled_pool\":0,"
       "\"spilled_heap\":0},"
@@ -63,7 +69,20 @@ TEST(StatsWriter, SimSectionRendersAllCounterGroups) {
       "\"graph\":{\"joins\":10,\"leaves\":0,\"chunk_recycles\":0},"
       "\"messages\":{\"walk_step\":25,\"sample_reply\":0,\"gossip_spread\":0,"
       "\"poll_reply\":0,\"aggregation_push\":0,\"aggregation_pull\":0,"
-      "\"control\":0,\"total\":25}}");
+      "\"control\":0,\"total\":25},"
+      "\"bytes\":{\"walk_step\":1100,\"sample_reply\":0,\"gossip_spread\":0,"
+      "\"poll_reply\":0,\"aggregation_push\":0,\"aggregation_pull\":0,"
+      "\"control\":0,\"total\":1100},"
+      "\"load\":{\"max_node_messages\":5,\"max_node_bytes\":220},"
+      "\"distributions\":{\"delay\":{";
+  ASSERT_GT(json.size(), scalar_prefix.size());
+  EXPECT_EQ(json.substr(0, scalar_prefix.size()), scalar_prefix);
+  for (const char* hist :
+       {"\"walk_hops\":{\"bounds\":", "\"node_messages\":{\"bounds\":",
+        "\"node_bytes\":{\"bounds\":", "\"degree\":{\"bounds\":"}) {
+    EXPECT_NE(json.find(hist), std::string::npos) << hist;
+  }
+  EXPECT_EQ(json.back(), '}');
 }
 
 TEST(StatsWriter, SimSectionEscapesFigureAndParams) {
@@ -87,7 +106,7 @@ TEST(StatsWriter, HostSectionCarriesPhasesSortedByName) {
 TEST(StatsWriter, DocumentWrapsSectionsWithSchemaAndVersion) {
   const std::string doc = run_stats_document("{\"sim\":1}", "{\"host\":2}");
   EXPECT_EQ(doc,
-            "{\"schema\":\"p2pse-run-stats\",\"version\":1,"
+            "{\"schema\":\"p2pse-run-stats\",\"version\":2,"
             "\"sim\":{\"sim\":1},\"host\":{\"host\":2}}\n");
   EXPECT_EQ(doc.back(), '\n');
 }

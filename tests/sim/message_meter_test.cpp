@@ -38,6 +38,37 @@ TEST(MessageMeter, ResetClearsEverything) {
   EXPECT_EQ(m.total(), 0u);
 }
 
+TEST(MessageMeter, DefaultWireSizesAreHeaderPlusPayload) {
+  const MessageMeter m;
+  for (std::size_t i = 0; i < kWirePayloadBytes.size(); ++i) {
+    EXPECT_EQ(m.wire_size(static_cast<MessageClass>(i)),
+              kWireHeaderBytes + kWirePayloadBytes[i]);
+  }
+}
+
+TEST(MessageMeter, BytesArePricedLazilyFromCounts) {
+  MessageMeter m;
+  m.count(MessageClass::kWalkStep, 10);
+  m.count(MessageClass::kControl, 3);
+  const std::uint64_t walk_wire = m.wire_size(MessageClass::kWalkStep);
+  const std::uint64_t ctrl_wire = m.wire_size(MessageClass::kControl);
+  EXPECT_EQ(m.bytes_of(MessageClass::kWalkStep), 10 * walk_wire);
+  EXPECT_EQ(m.bytes_of(MessageClass::kControl), 3 * ctrl_wire);
+  EXPECT_EQ(m.total_bytes(), 10 * walk_wire + 3 * ctrl_wire);
+}
+
+TEST(MessageMeter, SetWireSizesRepricesExistingCounts) {
+  MessageMeter m;
+  m.count(MessageClass::kWalkStep, 5);
+  WireSizeTable sizes{};
+  sizes.fill(100);
+  m.set_wire_sizes(sizes);
+  // Pure accounting: counts unchanged, bytes repriced retroactively.
+  EXPECT_EQ(m.of(MessageClass::kWalkStep), 5u);
+  EXPECT_EQ(m.bytes_of(MessageClass::kWalkStep), 500u);
+  EXPECT_EQ(m.total_bytes(), 500u);
+}
+
 TEST(MessageMeter, ClassNames) {
   EXPECT_EQ(to_string(MessageClass::kWalkStep), "walk_step");
   EXPECT_EQ(to_string(MessageClass::kSampleReply), "sample_reply");

@@ -1,0 +1,81 @@
+#include "p2pse/support/fixed_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace p2pse::support {
+namespace {
+
+TEST(FixedHistogram, DefaultIsEmptyPlaceholder) {
+  const FixedHistogram h;
+  EXPECT_TRUE(h.bounds().empty());
+  ASSERT_EQ(h.buckets().size(), 1u);
+  EXPECT_EQ(h.buckets()[0], 0u);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(FixedHistogram, BoundsMustBeStrictlyAscending) {
+  EXPECT_THROW(FixedHistogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(FixedHistogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(FixedHistogram({1.0, 2.0, 3.0}));
+}
+
+TEST(FixedHistogram, ObserveBucketsByInclusiveUpperEdgeWithOverflow) {
+  FixedHistogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);     // bucket 0
+  h.observe(1.0);     // bucket 0 (edge inclusive)
+  h.observe(7.0);     // bucket 1
+  h.observe(100.0);   // bucket 2
+  h.observe(1000.0);  // overflow
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(FixedHistogram, MergeIsCommutative) {
+  FixedHistogram a({1.0, 10.0});
+  a.observe(0.5);
+  a.observe(5.0);
+  FixedHistogram b({1.0, 10.0});
+  b.observe(50.0);
+  b.observe(0.25);
+
+  FixedHistogram ab = a;
+  ab += b;
+  FixedHistogram ba = b;
+  ba += a;
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.count(), 4u);
+  EXPECT_EQ(ab.buckets()[0], 2u);
+  EXPECT_EQ(ab.buckets()[1], 1u);
+  EXPECT_EQ(ab.buckets()[2], 1u);
+}
+
+TEST(FixedHistogram, MergeWithEmptyAdoptsOrKeeps) {
+  FixedHistogram filled({1.0, 10.0});
+  filled.observe(3.0);
+
+  FixedHistogram adopt;  // empty placeholder
+  adopt += filled;
+  EXPECT_EQ(adopt, filled);
+
+  FixedHistogram keep = filled;
+  keep += FixedHistogram{};
+  EXPECT_EQ(keep, filled);
+}
+
+TEST(FixedHistogram, MergeRejectsMismatchedBounds) {
+  FixedHistogram a({1.0, 10.0});
+  FixedHistogram b({1.0, 20.0});
+  a.observe(2.0);
+  b.observe(2.0);
+  EXPECT_THROW(a += b, std::logic_error);
+}
+
+}  // namespace
+}  // namespace p2pse::support
